@@ -1,0 +1,209 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) and then runs Bechamel
+   micro-benchmarks of the core algorithms.
+
+   Usage:
+     dune exec bench/main.exe             # full reproduction (~minutes)
+     dune exec bench/main.exe -- --quick  # reduced sweeps
+     dune exec bench/main.exe -- fig7     # a single figure
+*)
+
+module E = Ftes_core.Experiments
+module Chart = Ftes_util.Chart
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let selected =
+  let wanted =
+    Array.to_list Sys.argv
+    |> List.filter (fun a ->
+           a = "ablation"
+           || (String.length a > 3 && String.sub a 0 3 = "fig"))
+  in
+  fun name -> wanted = [] || List.mem name wanted
+
+let section title =
+  Printf.printf "\n============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "============================================================\n"
+
+let timings rows =
+  List.iter (fun (l, v) -> Printf.printf "  %-55s %8.1f ms\n" l v) rows
+
+let run_figures () =
+  if selected "fig1" then begin
+    section
+      "Figure 1 - rollback recovery with checkpointing (C=60, a=10, x=5, u=10)";
+    timings (E.fig1 ());
+    Printf.printf
+      "  paper: the 2-checkpoint 1-fault timeline completes at 130 ms\n"
+  end;
+  if selected "fig2" then begin
+    section "Figure 2 - active replication vs. primary-backup (C=60, a=10)";
+    timings (E.fig2 ());
+    Printf.printf
+      "  paper: replicas run in parallel; primary-backup is slower under a \
+       fault\n"
+  end;
+  if selected "fig4" then begin
+    section "Figure 4 - policy assignment cases (C=30, a=u=x=5, k=2)";
+    timings (E.fig4 ())
+  end;
+  if selected "fig5" then begin
+    section "Figure 5 - the fault-tolerant conditional process graph (k=2)";
+    let f = E.fig5 () in
+    Format.printf "%a@." Ftes_ftcpg.Ftcpg.pp_summary f;
+    let g = Ftes_ftcpg.Problem.graph (Ftes_ftcpg.Ftcpg.problem f) in
+    for pid = 0 to Ftes_app.Graph.process_count g - 1 do
+      Printf.printf "  %s: %d copies\n"
+        (Ftes_app.Graph.process g pid).Ftes_app.Graph.pname
+        (List.length (Ftes_ftcpg.Ftcpg.proc_copies f ~pid))
+    done;
+    Printf.printf "  paper Fig. 5b: P1 3 copies, P2 6, P3 3 (+P3^S), P4 6\n"
+  end;
+  if selected "fig6" then begin
+    section "Figure 6 - fault-tolerant schedule tables";
+    let t = E.fig6 () in
+    Format.printf "%a@.@.%a@." Ftes_sched.Table.pp t
+      (Ftes_sched.Table.pp_matrix ~max_columns:24)
+      t;
+    let violations = Ftes_sim.Sim.validate t in
+    Printf.printf "fault-injection validation: %s\n"
+      (if violations = [] then "OK (all 15 scenarios)"
+       else String.concat "; " violations)
+  end;
+  if selected "fig7" then begin
+    section
+      "Figure 7 - efficiency of fault-tolerance policy assignment\n\
+       (avg % deviation of schedule length from the MXR baseline;\n\
+       paper averages: MR 77%, MX 17.6%)";
+    let seeds = if quick then 1 else 3 in
+    let sizes = if quick then [ 20; 40 ] else [ 20; 40; 60; 80; 100 ] in
+    let t0 = Unix.gettimeofday () in
+    let s = E.fig7 ~seeds_per_point:seeds ~sizes () in
+    Format.printf "%a@." E.pp_series s;
+    print_string
+      (Chart.render_chart ~y_label:"avg % deviation" ~x_label:"processes"
+         ~xs:s.E.xs ~series:s.E.curves ());
+    Printf.printf "(%d seed(s)/point, %.0f s)\n" seeds
+      (Unix.gettimeofday () -. t0)
+  end;
+  if selected "fig8" then begin
+    section
+      "Figure 8 - efficiency of checkpointing optimization\n\
+       (avg % deviation of FTO: global [15] vs per-process local optima [27];\n\
+       larger deviation = smaller overhead)";
+    let seeds = if quick then 1 else 3 in
+    let sizes = if quick then [ 40; 60 ] else [ 40; 60; 80; 100 ] in
+    let t0 = Unix.gettimeofday () in
+    let s = E.fig8 ~seeds_per_point:seeds ~sizes () in
+    Format.printf "%a@." E.pp_series s;
+    print_string
+      (Chart.render_chart ~y_label:"avg % deviation" ~x_label:"processes"
+         ~xs:s.E.xs ~series:s.E.curves ());
+    Printf.printf "(%d seed(s)/point, %.0f s)\n" seeds
+      (Unix.gettimeofday () -. t0)
+  end
+
+let run_ablations () =
+  section
+    "Ablation - transparency/performance trade-off (paper, Sec. 3.3)\n\
+     (relative to the fully non-transparent schedule of the same instance)";
+  let seeds = if quick then 2 else 5 in
+  let s = E.transparency_tradeoff ~seeds () in
+  Format.printf "%a@." E.pp_series s;
+  print_string
+    (Chart.render_chart ~y_label:"% of non-transparent"
+       ~x_label:"frozen fraction (%)" ~xs:s.E.xs ~series:s.E.curves ());
+  section
+    "Ablation - soft/hard utility vs. fault hypothesis ([17])\n\
+     (guaranteed = worst case under k faults; bound = all soft maxima)";
+  let s = E.soft_utility_vs_k ~seeds () in
+  Format.printf "%a@." E.pp_series s;
+  print_string
+    (Chart.render_chart ~y_label:"% of utility bound"
+       ~x_label:"tolerated faults k" ~xs:s.E.xs ~series:s.E.curves ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core algorithms                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let fig5_problem = Ftes_ftcpg.Ftcpg.problem (E.fig5 ()) in
+  let fig5_ftcpg = Ftes_ftcpg.Ftcpg.build fig5_problem in
+  let random40 =
+    Ftes_workload.Gen.problem ~k:3
+      { Ftes_workload.Gen.default with processes = 40; nodes = 4; seed = 7 }
+  in
+  let guard =
+    Option.get
+      (Ftes_ftcpg.Cond.of_literals
+         (List.init 6 (fun i ->
+              { Ftes_ftcpg.Cond.cond = i; fault = i mod 2 = 0 })))
+  in
+  Test.make_grouped ~name:"ftes"
+    [
+      Test.make ~name:"ftcpg-build(fig5)"
+        (Staged.stage (fun () -> Ftes_ftcpg.Ftcpg.build fig5_problem));
+      Test.make ~name:"conditional-schedule(fig5)"
+        (Staged.stage (fun () -> Ftes_sched.Conditional.schedule fig5_ftcpg));
+      Test.make ~name:"scenarios(fig5)"
+        (Staged.stage (fun () -> Ftes_ftcpg.Ftcpg.scenarios fig5_ftcpg));
+      Test.make ~name:"slack-evaluate(40 procs)"
+        (Staged.stage (fun () -> Ftes_sched.Slack.evaluate random40));
+      Test.make ~name:"checkpoint-local-optimum"
+        (Staged.stage (fun () ->
+             Ftes_optim.Checkpoint.local_optimum ~c:60. Ftes_app.Overheads.fig1
+               ~k:4));
+      Test.make ~name:"guard-conjoin"
+        (Staged.stage (fun () -> Ftes_ftcpg.Cond.conjoin guard guard));
+      Test.make ~name:"workload-generate(20 procs)"
+        (Staged.stage (fun () ->
+             Ftes_workload.Gen.instance
+               { Ftes_workload.Gen.default with processes = 20; seed = 3 }));
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  section "Micro-benchmarks (Bechamel, one Test.make per core algorithm)";
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 0.5))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (v :: _) -> v
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "  %-40s (no estimate)\n" name
+      else if ns > 1e6 then
+        Printf.printf "  %-40s %10.3f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then
+        Printf.printf "  %-40s %10.3f us/run\n" name (ns /. 1e3)
+      else Printf.printf "  %-40s %10.0f ns/run\n" name ns)
+    (List.sort compare !rows)
+
+let () =
+  Printf.printf
+    "ftes benchmark harness - reproduction of 'Synthesis of Fault-Tolerant \
+     Embedded Systems' (DATE 2008)\n";
+  Printf.printf "mode: %s\n" (if quick then "quick" else "full");
+  run_figures ();
+  if selected "ablation" then run_ablations ();
+  run_micro ();
+  section "Done"

@@ -1,0 +1,343 @@
+(* ftes — command-line front end for the fault-tolerant synthesis flow:
+   generate workloads, synthesize configurations, print schedule tables,
+   run fault-injection validation, reproduce the paper's experiments. *)
+
+open Cmdliner
+
+let read_doc path = Ftes_dsl.Dsl.load path
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate processes nodes seed frozen_procs frozen_msgs k output =
+  let spec =
+    {
+      Ftes_workload.Gen.default with
+      processes;
+      nodes;
+      seed;
+      frozen_proc_prob = frozen_procs;
+      frozen_msg_prob = frozen_msgs;
+    }
+  in
+  let app, arch, wcet = Ftes_workload.Gen.instance spec in
+  let doc = { Ftes_dsl.Dsl.app; arch; wcet; k } in
+  let text = Ftes_dsl.Dsl.to_string doc in
+  match output with
+  | None -> print_string text
+  | Some path ->
+      Ftes_dsl.Dsl.save path doc;
+      Printf.printf "wrote %s\n" path
+
+let generate_cmd =
+  let processes =
+    Arg.(value & opt int 10 & info [ "p"; "processes" ] ~doc:"Process count.")
+  in
+  let nodes =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Node count.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let fp =
+    Arg.(value & opt float 0. & info [ "frozen-procs" ]
+           ~doc:"Probability a process is frozen.")
+  in
+  let fm =
+    Arg.(value & opt float 0. & info [ "frozen-msgs" ]
+           ~doc:"Probability a message is frozen.")
+  in
+  let k =
+    Arg.(value & opt int 2 & info [ "k" ] ~doc:"Tolerated transient faults.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ]
+           ~doc:"Output file (stdout when absent).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random synthesis instance.")
+    Term.(const generate $ processes $ nodes $ seed $ fp $ fm $ k $ output)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run path =
+    let doc = read_doc path in
+    Format.printf "%a@.%a@.k = %d@." Ftes_app.App.pp doc.Ftes_dsl.Dsl.app
+      Ftes_arch.Arch.pp doc.Ftes_dsl.Dsl.arch doc.Ftes_dsl.Dsl.k;
+    Format.printf "%a@." Ftes_arch.Wcet.pp doc.Ftes_dsl.Dsl.wcet
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print a parsed synthesis instance.")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* synthesize                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_conv =
+  let parse = function
+    | "mxr" -> Ok Ftes_optim.Strategy.MXR
+    | "mx" -> Ok Ftes_optim.Strategy.MX
+    | "mr" -> Ok Ftes_optim.Strategy.MR
+    | "sfx" -> Ok Ftes_optim.Strategy.SFX
+    | "mc-local" -> Ok Ftes_optim.Strategy.MC_local
+    | "mc-global" -> Ok Ftes_optim.Strategy.MC_global
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (String.lowercase_ascii (Ftes_optim.Strategy.name_to_string s))
+  in
+  Arg.conv (parse, print)
+
+let synthesize path strategy fto checkpointing no_tables matrix validate =
+  let doc = read_doc path in
+  let options =
+    {
+      Ftes_core.Synthesis.default_options with
+      strategy;
+      compute_fto = fto;
+      checkpointing;
+      conditional = not no_tables;
+    }
+  in
+  let result =
+    Ftes_core.Synthesis.synthesize ~options ~app:doc.Ftes_dsl.Dsl.app
+      ~arch:doc.Ftes_dsl.Dsl.arch ~wcet:doc.Ftes_dsl.Dsl.wcet
+      ~k:doc.Ftes_dsl.Dsl.k ()
+  in
+  Format.printf "%a@." Ftes_core.Synthesis.pp result;
+  Format.printf "@.-- policy assignment & mapping --@.";
+  let problem = result.Ftes_core.Synthesis.problem in
+  let g = Ftes_ftcpg.Problem.graph problem in
+  Array.iteri
+    (fun pid policy ->
+      Format.printf "  %-8s %-40s on %s@."
+        (Ftes_app.Graph.process g pid).Ftes_app.Graph.pname
+        (Format.asprintf "%a" Ftes_app.Policy.pp policy)
+        (String.concat ","
+           (List.map
+              (fun nid -> Printf.sprintf "N%d" (nid + 1))
+              (Ftes_ftcpg.Mapping.copies problem.Ftes_ftcpg.Problem.mapping
+                 ~pid))))
+    problem.Ftes_ftcpg.Problem.policies;
+  (match result.Ftes_core.Synthesis.table with
+  | Some table ->
+      Format.printf "@.-- schedule tables --@.%a@." Ftes_sched.Table.pp table;
+      if matrix then
+        Format.printf "@.%a@."
+          (Ftes_sched.Table.pp_matrix ~max_columns:24)
+          table
+  | None -> ());
+  if validate then begin
+    let violations = Ftes_core.Synthesis.validate result in
+    if violations = [] then
+      Format.printf "@.fault-injection validation: OK@."
+    else begin
+      Format.printf "@.fault-injection validation FAILED:@.";
+      List.iter (fun v -> Format.printf "  ! %s@." v) violations;
+      exit 1
+    end
+  end
+
+let synthesize_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let strategy =
+    Arg.(value & opt strategy_conv Ftes_optim.Strategy.MXR
+           & info [ "strategy" ] ~doc:"mxr | mx | mr | sfx | mc-local | mc-global.")
+  in
+  let fto =
+    Arg.(value & flag & info [ "fto" ]
+           ~doc:"Also compute the fault-tolerance overhead.")
+  in
+  let checkpointing =
+    Arg.(value & flag & info [ "checkpointing" ]
+           ~doc:"Optimize checkpoint counts globally.")
+  in
+  let no_tables =
+    Arg.(value & flag & info [ "no-tables" ]
+           ~doc:"Skip FT-CPG expansion and conditional scheduling.")
+  in
+  let matrix =
+    Arg.(value & flag & info [ "matrix" ]
+           ~doc:"Also print the Fig. 6-style matrix layout.")
+  in
+  let validate =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Run exhaustive fault-injection validation of the tables.")
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:"Synthesize a fault-tolerant configuration and its tables.")
+    Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
+          $ matrix $ validate)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate path faults trace =
+  let doc = read_doc path in
+  let problem = Ftes_dsl.Dsl.to_problem doc in
+  let ftcpg = Ftes_ftcpg.Ftcpg.build problem in
+  let table = Ftes_sched.Conditional.schedule ftcpg in
+  let scenarios = Ftes_ftcpg.Ftcpg.scenarios ftcpg in
+  let selected =
+    List.filter
+      (fun s -> Ftes_ftcpg.Cond.fault_count s = faults)
+      scenarios
+  in
+  Format.printf "%d scenarios total, %d with exactly %d fault(s)@."
+    (List.length scenarios) (List.length selected) faults;
+  let worst = ref None in
+  List.iter
+    (fun s ->
+      let o = Ftes_sim.Sim.run table ~scenario:s in
+      if o.Ftes_sim.Sim.violations <> [] then begin
+        Format.printf "VIOLATIONS in %s:@."
+          (Ftes_ftcpg.Cond.to_string
+             ~name:(Ftes_ftcpg.Ftcpg.cond_name ftcpg) s);
+        List.iter (fun v -> Format.printf "  ! %s@." v)
+          o.Ftes_sim.Sim.violations
+      end;
+      match !worst with
+      | Some w when w.Ftes_sim.Sim.makespan >= o.Ftes_sim.Sim.makespan -> ()
+      | _ -> worst := Some o)
+    selected;
+  match !worst with
+  | None -> Format.printf "no scenario with %d fault(s)@." faults
+  | Some o ->
+      Format.printf "worst makespan with %d fault(s): %g@." faults
+        o.Ftes_sim.Sim.makespan;
+      if trace then Format.printf "%a@." Ftes_sim.Sim.pp_outcome o
+
+let simulate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let faults =
+    Arg.(value & opt int 1 & info [ "faults" ]
+           ~doc:"Simulate all scenarios with exactly this many faults.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print the event trace of the worst scenario.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the synthesized tables under injected faults.")
+    Term.(const simulate $ file $ faults $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment which quick =
+  let module E = Ftes_core.Experiments in
+  let timings rows =
+    List.iter (fun (l, v) -> Format.printf "  %-50s %8.1f ms@." l v) rows
+  in
+  match which with
+  | "fig1" -> timings (E.fig1 ())
+  | "fig2" -> timings (E.fig2 ())
+  | "fig4" -> timings (E.fig4 ())
+  | "fig5" -> Format.printf "%a@." Ftes_ftcpg.Ftcpg.pp (E.fig5 ())
+  | "fig6" ->
+      let t = E.fig6 () in
+      Format.printf "%a@.@.%a@." Ftes_sched.Table.pp t
+        (Ftes_sched.Table.pp_matrix ~max_columns:24)
+        t
+  | "fig7" ->
+      let seeds = if quick then 2 else 5 in
+      let sizes = if quick then [ 20; 40 ] else [ 20; 40; 60; 80; 100 ] in
+      let s = E.fig7 ~seeds_per_point:seeds ~sizes () in
+      Format.printf "%a@." E.pp_series s
+  | "fig8" ->
+      let seeds = if quick then 2 else 5 in
+      let sizes = if quick then [ 40; 60 ] else [ 40; 60; 80; 100 ] in
+      let s = E.fig8 ~seeds_per_point:seeds ~sizes () in
+      Format.printf "%a@." E.pp_series s
+  | "ablation" ->
+      let s = E.transparency_tradeoff ~seeds:(if quick then 2 else 5) () in
+      Format.printf "%a@." E.pp_series s
+  | "soft" ->
+      let s = E.soft_utility_vs_k ~seeds:(if quick then 2 else 5) () in
+      Format.printf "%a@." E.pp_series s
+  | other ->
+      Format.eprintf
+        "unknown experiment %S (fig1|fig2|fig4|fig5|fig6|fig7|fig8|ablation|soft)@."
+        other;
+      exit 2
+
+let experiment_cmd =
+  let which =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweep for a fast run.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
+    Term.(const experiment $ which $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* reliability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reliability rate period target hours =
+  let module R = Ftes_core.Reliability in
+  let k = R.min_k ~rate ~period ~target () in
+  Format.printf
+    "fault rate %g/ms, cycle %g ms: expected faults per cycle %g@." rate
+    period (rate *. period);
+  Format.printf "minimal k for per-cycle reliability >= %g: k = %d@." target k;
+  Format.printf "P(more than %d faults in a cycle) = %.3e@." k
+    (R.prob_more_than_k ~rate ~period ~k);
+  match hours with
+  | None -> ()
+  | Some h ->
+      let cycles = R.cycles_in ~period ~hours:h in
+      Format.printf
+        "mission of %g h = %.3e cycles: P(hypothesis holds throughout) = %.6f@."
+        h cycles
+        (R.mission_reliability ~rate ~period ~k ~cycles)
+
+let reliability_cmd =
+  let rate =
+    Arg.(required & opt (some float) None
+           & info [ "rate" ] ~doc:"Transient fault rate (faults per ms).")
+  in
+  let period =
+    Arg.(required & opt (some float) None
+           & info [ "period" ] ~doc:"Cycle length (ms).")
+  in
+  let target =
+    Arg.(value & opt float 0.999999
+           & info [ "target" ] ~doc:"Per-cycle reliability goal in (0,1).")
+  in
+  let hours =
+    Arg.(value & opt (some float) None
+           & info [ "mission-hours" ] ~doc:"Also report mission reliability.")
+  in
+  Cmd.v
+    (Cmd.info "reliability"
+       ~doc:"Derive the fault hypothesis k from a fault rate and goal.")
+    Term.(const reliability $ rate $ period $ target $ hours)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "synthesis of fault-tolerant embedded systems (DATE 2008)" in
+  Cmd.group
+    (Cmd.info "ftes" ~version:"1.0.0" ~doc)
+    [ generate_cmd; info_cmd; synthesize_cmd; simulate_cmd; experiment_cmd;
+      reliability_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

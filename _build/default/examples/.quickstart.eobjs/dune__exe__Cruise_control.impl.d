@@ -1,0 +1,1 @@
+examples/cruise_control.ml: Array Format Ftes_app Ftes_arch Ftes_core Ftes_ftcpg Ftes_optim Ftes_sched Ftes_sim List Option

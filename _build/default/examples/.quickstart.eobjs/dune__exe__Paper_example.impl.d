@@ -1,0 +1,1 @@
+examples/paper_example.ml: Format Ftes_app Ftes_core Ftes_ftcpg Ftes_sched Ftes_sim List

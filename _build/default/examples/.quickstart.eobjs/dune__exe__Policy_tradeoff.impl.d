@@ -1,0 +1,1 @@
+examples/policy_tradeoff.ml: Format Ftes_app Ftes_core Ftes_optim Ftes_sched Ftes_workload List

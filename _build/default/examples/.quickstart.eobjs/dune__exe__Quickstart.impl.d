@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ftes_app Ftes_arch Ftes_core Ftes_optim Ftes_sched List

@@ -1,0 +1,1 @@
+examples/soft_goals.ml: Array Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_sched Ftes_soft List

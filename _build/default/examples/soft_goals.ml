@@ -1,0 +1,82 @@
+(* Mixed soft/hard scheduling (the paper's companion work [17]):
+
+   A vision-assisted controller on two ECUs. The control chain
+   (Sample -> Law -> Actuate) is hard: its deadline must hold in every
+   scenario with at most k = 2 transient faults, so it gets re-execution
+   budgets and recovery slack. The vision pipeline (Detect -> Track ->
+   Overlay -> Log) is soft: completing it earns utility that decays with
+   completion time, and it only runs in the capacity the hard schedule
+   leaves over. Faults eat into exactly that capacity, so the guaranteed
+   utility degrades with k while the hard deadline never does.
+
+   Run with: dune exec examples/soft_goals.exe *)
+
+module Graph = Ftes_app.Graph
+module U = Ftes_soft.Utility
+module SS = Ftes_soft.Softsched
+
+let () =
+  let b = Graph.Builder.create () in
+  let o = Ftes_app.Overheads.make ~alpha:2. ~mu:2. ~chi:1. in
+  let add name = Graph.Builder.add_process b ~overheads:o ~name in
+  (* Hard control chain. *)
+  let sample = add "Sample" in
+  let law = add "Law" in
+  let actuate = add "Actuate" in
+  (* Soft vision pipeline (fed by the hard sample — allowed; the
+     converse would be rejected). *)
+  let detect = add "Detect" in
+  let track = add "Track" in
+  let overlay = add "Overlay" in
+  let log = add "Log" in
+  let msg src dst size = ignore (Graph.Builder.add_message b ~src ~dst ~size) in
+  msg sample law 2.;
+  msg law actuate 2.;
+  msg sample detect 4.;
+  msg detect track 4.;
+  msg track overlay 4.;
+  msg overlay log 2.;
+  let graph = Graph.Builder.build b in
+  let app = Ftes_app.App.make ~graph ~deadline:400. ~period:400. () in
+
+  let nodes = 2 in
+  let arch =
+    Ftes_arch.Arch.make ~node_count:nodes
+      ~bus:(Ftes_arch.Arch.default_bus ~node_count:nodes)
+      ()
+  in
+  let wcet = Ftes_arch.Wcet.create ~procs:(Graph.process_count graph) ~nodes in
+  List.iter
+    (fun (pid, c1, c2) ->
+      Ftes_arch.Wcet.set wcet ~pid ~nid:0 c1;
+      Ftes_arch.Wcet.set wcet ~pid ~nid:1 c2)
+    [
+      (sample, 10., 12.); (law, 20., 24.); (actuate, 8., 8.);
+      (detect, 40., 45.); (track, 30., 35.); (overlay, 20., 20.);
+      (log, 5., 5.);
+    ];
+
+  let classes =
+    Array.init (Graph.process_count graph) (fun pid ->
+        if pid = detect then
+          SS.Soft (U.linear ~value:100. ~from_:120. ~zero_at:350.)
+        else if pid = track then
+          SS.Soft (U.linear ~value:80. ~from_:160. ~zero_at:380.)
+        else if pid = overlay then
+          SS.Soft (U.step ~value:50. ~until:250. ~late_value:20. ~cutoff:380.)
+        else if pid = log then SS.Soft (U.constant ~value:10. ~until:400.)
+        else SS.Hard)
+  in
+
+  List.iter
+    (fun k ->
+      let policies =
+        Array.init (Graph.process_count graph) (fun _ ->
+            Ftes_app.Policy.re_execution ~recoveries:k)
+      in
+      let mapping = Ftes_ftcpg.Problem.fastest_mapping ~app ~wcet ~policies in
+      let p = Ftes_ftcpg.Problem.make ~app ~arch ~wcet ~k ~policies ~mapping in
+      let r = SS.schedule ~classes p in
+      Format.printf "== k = %d ==@.%a@.@." k (SS.pp_result graph) r;
+      assert (r.SS.hard.Ftes_sched.Slack.length <= app.Ftes_app.App.deadline))
+    [ 0; 1; 2; 3 ]

@@ -1,0 +1,1 @@
+lib/appmodel/app.ml: Format Graph Overheads Transparency

@@ -1,0 +1,1 @@
+lib/appmodel/app.mli: Format Graph Transparency

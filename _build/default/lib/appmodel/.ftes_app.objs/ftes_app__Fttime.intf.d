@@ -1,0 +1,1 @@
+lib/appmodel/fttime.mli: Overheads

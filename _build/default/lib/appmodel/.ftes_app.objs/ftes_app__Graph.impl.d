@@ -1,0 +1,1 @@
+lib/appmodel/graph.ml: Array Format List Overheads Printf Queue

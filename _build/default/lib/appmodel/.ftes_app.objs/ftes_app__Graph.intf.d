@@ -1,0 +1,1 @@
+lib/appmodel/graph.mli: Format Overheads

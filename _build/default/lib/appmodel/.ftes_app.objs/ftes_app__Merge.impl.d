@@ -1,0 +1,1 @@
+lib/appmodel/merge.ml: App Array Float Graph List Printf Transparency

@@ -1,0 +1,1 @@
+lib/appmodel/merge.mli: App Graph Transparency

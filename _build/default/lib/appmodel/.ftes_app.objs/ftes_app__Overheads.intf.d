@@ -1,0 +1,1 @@
+lib/appmodel/overheads.mli: Format

@@ -1,0 +1,1 @@
+lib/appmodel/policy.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/appmodel/policy.mli: Format

@@ -1,0 +1,1 @@
+lib/appmodel/transparency.ml: Format Graph List Set String

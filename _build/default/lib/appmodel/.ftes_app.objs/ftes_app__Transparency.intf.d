@@ -1,0 +1,1 @@
+lib/appmodel/transparency.mli: Format Graph

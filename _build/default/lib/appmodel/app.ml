@@ -1,0 +1,63 @@
+type t = {
+  graph : Graph.t;
+  deadline : float;
+  period : float;
+  transparency : Transparency.t;
+}
+
+let make ?(transparency = Transparency.none) ~graph ~deadline ~period () =
+  if deadline <= 0. then invalid_arg "App.make: deadline <= 0";
+  if period <= 0. then invalid_arg "App.make: period <= 0";
+  if deadline > period then invalid_arg "App.make: deadline > period";
+  { graph; deadline; period; transparency }
+
+let with_transparency t transparency = { t with transparency }
+
+let with_deadline t deadline =
+  make ~transparency:t.transparency ~graph:t.graph ~deadline ~period:t.period
+    ()
+
+let fig3 () =
+  let b = Graph.Builder.create () in
+  let o = Overheads.fig1 in
+  let add name = Graph.Builder.add_process b ~overheads:o ~name in
+  let p1 = add "P1" in
+  let p2 = add "P2" in
+  let p3 = add "P3" in
+  let p4 = add "P4" in
+  let p5 = add "P5" in
+  let msg src dst = ignore (Graph.Builder.add_message b ~src ~dst ~size:4.) in
+  msg p1 p2;
+  msg p1 p3;
+  msg p2 p4;
+  msg p3 p5;
+  let graph = Graph.Builder.build b in
+  make ~graph ~deadline:300. ~period:300. ()
+
+let fig5 () =
+  let b = Graph.Builder.create () in
+  let o = Overheads.make ~alpha:5. ~mu:0. ~chi:0. in
+  let add name = Graph.Builder.add_process b ~overheads:o ~name in
+  let p1 = add "P1" in
+  let p2 = add "P2" in
+  let p3 = add "P3" in
+  let p4 = add "P4" in
+  (* Local edge P1 -> P2 (both end up on the same node in the paper's
+     mapping, so it never uses the bus) plus the three named messages. *)
+  let e12 =
+    Graph.Builder.add_message b ~name:"m0" ~src:p1 ~dst:p2 ~size:0.
+  in
+  let m1 = Graph.Builder.add_message b ~name:"m1" ~src:p1 ~dst:p4 ~size:5. in
+  let m2 = Graph.Builder.add_message b ~name:"m2" ~src:p1 ~dst:p3 ~size:5. in
+  let m3 = Graph.Builder.add_message b ~name:"m3" ~src:p2 ~dst:p3 ~size:5. in
+  ignore e12;
+  ignore m1;
+  let graph = Graph.Builder.build b in
+  let transparency =
+    Transparency.of_list [ Proc p3; Msg m2; Msg m3 ]
+  in
+  make ~transparency ~graph ~deadline:400. ~period:400. ()
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>application (D=%g, T=%g, %a)@,%a@]" t.deadline
+    t.period (Transparency.pp t.graph) t.transparency Graph.pp t.graph

@@ -1,0 +1,40 @@
+(** A hard real-time application ready for synthesis: the merged process
+    graph together with its period, global deadline and transparency
+    requirements (paper, Sec. 4). *)
+
+type t = private {
+  graph : Graph.t;
+  deadline : float;  (** Global hard deadline D (must hold in every fault
+                         scenario with at most [k] faults). *)
+  period : float;  (** Period T of the merged virtual application. *)
+  transparency : Transparency.t;
+}
+
+val make :
+  ?transparency:Transparency.t ->
+  graph:Graph.t ->
+  deadline:float ->
+  period:float ->
+  unit ->
+  t
+(** @raise Invalid_argument if [deadline <= 0.], [period <= 0.] or
+    [deadline > period] (quasi-static cyclic scheduling requires the
+    application to finish within its period). *)
+
+val with_transparency : t -> Transparency.t -> t
+val with_deadline : t -> float -> t
+
+val fig3 : unit -> t
+(** The paper's Fig. 3a example: five processes P1..P5 with P1 fanning
+    out to P2 and P3, P2 feeding P4 and P3 feeding P5. Overheads are
+    {!Overheads.fig1}; the deadline (300 ms) is loose. The matching
+    two-node architecture and WCET table live in [Ftes_arch.Examples]. *)
+
+val fig5 : unit -> t
+(** The paper's Fig. 5a example: P1..P4 with messages m1: P1 -> P4,
+    m2: P1 -> P3, m3: P2 -> P3 and a local edge P1 -> P2; process P3 and
+    messages m2, m3 are frozen. Building its FT-CPG for k = 2 yields the
+    paper's Fig. 5b; conditional scheduling on two nodes yields tables
+    with the structure of Fig. 6. *)
+
+val pp : Format.formatter -> t -> unit

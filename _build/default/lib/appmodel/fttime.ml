@@ -1,0 +1,32 @@
+let check ~c ~checkpoints =
+  if checkpoints < 1 then invalid_arg "Fttime: checkpoints < 1";
+  if c < 0. then invalid_arg "Fttime: negative WCET"
+
+let segment_length ~c ~checkpoints =
+  check ~c ~checkpoints;
+  c /. float_of_int checkpoints
+
+let no_fault_length ~c (o : Overheads.t) ~checkpoints =
+  check ~c ~checkpoints;
+  c +. (float_of_int checkpoints *. (o.alpha +. o.chi))
+
+let recovery_cost ~c (o : Overheads.t) ~checkpoints ~last =
+  let seg = segment_length ~c ~checkpoints in
+  if last then o.mu +. seg else o.mu +. seg +. o.alpha
+
+let worst_case_length ~c (o : Overheads.t) ~checkpoints ~recoveries =
+  if recoveries < 0 then invalid_arg "Fttime: negative recoveries";
+  let e0 = no_fault_length ~c o ~checkpoints in
+  if recoveries = 0 then e0
+  else
+    let seg = segment_length ~c ~checkpoints in
+    let r = float_of_int recoveries in
+    e0 +. (r *. (o.mu +. seg)) +. ((r -. 1.) *. o.alpha)
+
+let recovery_slack ~c o ~checkpoints ~recoveries =
+  worst_case_length ~c o ~checkpoints ~recoveries
+  -. no_fault_length ~c o ~checkpoints
+
+let replica_length ~c (o : Overheads.t) =
+  if c < 0. then invalid_arg "Fttime: negative WCET";
+  c +. o.alpha

@@ -1,0 +1,41 @@
+(** Timing formulas for rollback recovery with equidistant checkpointing
+    (paper, Sec. 3.1).
+
+    A process with WCET [c] and [n >= 1] equidistant checkpoints consists
+    of [n] execution segments of length [c /. n]. Every segment is
+    preceded by a checkpoint save ([chi], the first one saving the initial
+    inputs) and followed by error detection ([alpha]). A fault detected in
+    a segment triggers a rollback: recovery overhead [mu], then the
+    segment is re-executed. The error-detection overhead of the very last
+    possible recovery is not paid, because no further fault can occur
+    (paper, Fig. 1c discussion).
+
+    Simple re-execution is the [n = 1] special case: a single checkpoint
+    at process activation. *)
+
+val segment_length : c:float -> checkpoints:int -> float
+(** Length of one execution segment, [c /. n].
+    @raise Invalid_argument if [checkpoints < 1] or [c < 0.]. *)
+
+val no_fault_length : c:float -> Overheads.t -> checkpoints:int -> float
+(** [E0(n) = c + n * (alpha + chi)]: execution length when no fault
+    occurs. *)
+
+val recovery_cost : c:float -> Overheads.t -> checkpoints:int -> last:bool -> float
+(** Extra time consumed by one tolerated fault: [mu + c/n + alpha], or
+    [mu + c/n] when [last] (detection skipped on the final possible
+    recovery). *)
+
+val worst_case_length :
+  c:float -> Overheads.t -> checkpoints:int -> recoveries:int -> float
+(** [W(n, r)]: worst-case length when up to [r] faults hit this process:
+    [E0(n) + r*(mu + c/n) + (r-1)*alpha] for [r >= 1], [E0(n)] for
+    [r = 0]. *)
+
+val recovery_slack :
+  c:float -> Overheads.t -> checkpoints:int -> recoveries:int -> float
+(** [W(n, r) - E0(n)]: the slack that must follow the process in a root
+    schedule to absorb its worst-case recoveries. *)
+
+val replica_length : c:float -> Overheads.t -> float
+(** Length of one (non-checkpointed) active replica: [c + alpha]. *)

@@ -1,0 +1,197 @@
+type process = {
+  pid : int;
+  pname : string;
+  overheads : Overheads.t;
+  release : float;
+  local_deadline : float option;
+}
+
+type message = {
+  mid : int;
+  mname : string;
+  src : int;
+  dst : int;
+  size : float;
+}
+
+type t = {
+  procs : process array;
+  msgs : message array;
+  out_msgs : int list array;
+  in_msgs : int list array;
+  topo : int list;
+}
+
+module Builder = struct
+  type b = {
+    mutable rev_procs : process list;
+    mutable rev_msgs : message list;
+    mutable nprocs : int;
+    mutable nmsgs : int;
+  }
+
+  type t = b
+
+  let create () = { rev_procs = []; rev_msgs = []; nprocs = 0; nmsgs = 0 }
+
+  let add_process ?(overheads = Overheads.zero) ?(release = 0.) ?local_deadline
+      b ~name =
+    if release < 0. then invalid_arg "Graph.Builder.add_process: release < 0";
+    let pid = b.nprocs in
+    let p = { pid; pname = name; overheads; release; local_deadline } in
+    b.rev_procs <- p :: b.rev_procs;
+    b.nprocs <- pid + 1;
+    pid
+
+  let add_message ?name b ~src ~dst ~size =
+    if src < 0 || src >= b.nprocs || dst < 0 || dst >= b.nprocs then
+      invalid_arg "Graph.Builder.add_message: unknown endpoint";
+    if src = dst then invalid_arg "Graph.Builder.add_message: self-loop";
+    if size < 0. then invalid_arg "Graph.Builder.add_message: negative size";
+    let mid = b.nmsgs in
+    let mname =
+      match name with Some n -> n | None -> Printf.sprintf "m%d" (mid + 1)
+    in
+    b.rev_msgs <- { mid; mname; src; dst; size } :: b.rev_msgs;
+    b.nmsgs <- mid + 1;
+    mid
+
+  (* Kahn's algorithm; raises if a cycle prevents a complete ordering. *)
+  let toposort nprocs msgs =
+    let indeg = Array.make nprocs 0 in
+    let succ = Array.make nprocs [] in
+    Array.iter
+      (fun m ->
+        indeg.(m.dst) <- indeg.(m.dst) + 1;
+        succ.(m.src) <- m.dst :: succ.(m.src))
+      msgs;
+    let queue = Queue.create () in
+    for pid = 0 to nprocs - 1 do
+      if indeg.(pid) = 0 then Queue.add pid queue
+    done;
+    let rec drain acc count =
+      if Queue.is_empty queue then
+        if count = nprocs then List.rev acc
+        else invalid_arg "Graph.Builder.build: application graph has a cycle"
+      else
+        let pid = Queue.pop queue in
+        List.iter
+          (fun s ->
+            indeg.(s) <- indeg.(s) - 1;
+            if indeg.(s) = 0 then Queue.add s queue)
+          succ.(pid);
+        drain (pid :: acc) (count + 1)
+    in
+    drain [] 0
+
+  let build b =
+    let procs = Array.of_list (List.rev b.rev_procs) in
+    let msgs = Array.of_list (List.rev b.rev_msgs) in
+    let out_msgs = Array.make (Array.length procs) [] in
+    let in_msgs = Array.make (Array.length procs) [] in
+    (* Reverse iteration keeps the per-process lists in insertion order. *)
+    for i = Array.length msgs - 1 downto 0 do
+      let m = msgs.(i) in
+      out_msgs.(m.src) <- m.mid :: out_msgs.(m.src);
+      in_msgs.(m.dst) <- m.mid :: in_msgs.(m.dst)
+    done;
+    let topo = toposort (Array.length procs) msgs in
+    { procs; msgs; out_msgs; in_msgs; topo }
+end
+
+let process_count t = Array.length t.procs
+let message_count t = Array.length t.msgs
+
+let process t pid =
+  if pid < 0 || pid >= process_count t then invalid_arg "Graph.process: bad id";
+  t.procs.(pid)
+
+let message t mid =
+  if mid < 0 || mid >= message_count t then invalid_arg "Graph.message: bad id";
+  t.msgs.(mid)
+
+let processes t = Array.copy t.procs
+let messages t = Array.copy t.msgs
+let out_messages t pid = (ignore (process t pid)); t.out_msgs.(pid)
+let in_messages t pid = (ignore (process t pid)); t.in_msgs.(pid)
+
+let dedup xs = List.sort_uniq compare xs
+
+let successors t pid =
+  dedup (List.map (fun mid -> t.msgs.(mid).dst) (out_messages t pid))
+
+let predecessors t pid =
+  dedup (List.map (fun mid -> t.msgs.(mid).src) (in_messages t pid))
+
+let sources t =
+  List.filter (fun pid -> t.in_msgs.(pid) = []) (t.topo)
+
+let sinks t = List.filter (fun pid -> t.out_msgs.(pid) = []) t.topo
+
+let topological_order t = t.topo
+
+let depth t =
+  let d = Array.make (process_count t) 0 in
+  List.iter
+    (fun pid ->
+      List.iter
+        (fun mid ->
+          let m = t.msgs.(mid) in
+          if d.(m.dst) < d.(pid) + 1 then d.(m.dst) <- d.(pid) + 1)
+        t.out_msgs.(pid))
+    t.topo;
+  d
+
+let critical_path_length t ~proc_time ~msg_time =
+  let finish = Array.make (process_count t) 0. in
+  List.iter
+    (fun pid ->
+      let arrival =
+        List.fold_left
+          (fun acc mid ->
+            let m = t.msgs.(mid) in
+            max acc (finish.(m.src) +. msg_time mid))
+          0. t.in_msgs.(pid)
+      in
+      let start = max arrival t.procs.(pid).release in
+      finish.(pid) <- start +. proc_time pid)
+    t.topo;
+  Array.fold_left max 0. finish
+
+let restrict t ~keep =
+  let b = Builder.create () in
+  let map = Array.make (process_count t) (-1) in
+  Array.iter
+    (fun p ->
+      if keep p.pid then
+        map.(p.pid) <-
+          Builder.add_process b ~overheads:p.overheads ~release:p.release
+            ?local_deadline:p.local_deadline ~name:p.pname)
+    t.procs;
+  Array.iter
+    (fun m ->
+      if map.(m.src) >= 0 && map.(m.dst) >= 0 then
+        ignore
+          (Builder.add_message b ~name:m.mname ~src:map.(m.src)
+             ~dst:map.(m.dst) ~size:m.size))
+    t.msgs;
+  (Builder.build b, map)
+
+let find_process t name =
+  let found = ref None in
+  Array.iter (fun p -> if p.pname = name then found := Some p.pid) t.procs;
+  !found
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph: %d processes, %d messages@,"
+    (process_count t) (message_count t);
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "  %s (id %d, release %g)@," p.pname p.pid p.release)
+    t.procs;
+  Array.iter
+    (fun m ->
+      Format.fprintf ppf "  %s: %s -> %s (size %g)@," m.mname
+        t.procs.(m.src).pname t.procs.(m.dst).pname m.size)
+    t.msgs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,102 @@
+(** The merged application graph G(V, E) (paper, Sec. 4).
+
+    Nodes are non-preemptable processes; a directed message edge from
+    [Pi] to [Pj] means the output of [Pi] is an input of [Pj]. All inputs
+    must have arrived before a process is activated. The graph is acyclic
+    by construction ([build] validates it).
+
+    Process and message identifiers are dense integers in
+    [0, process_count) and [0, message_count) and double as array
+    indices everywhere in the library. *)
+
+type process = private {
+  pid : int;
+  pname : string;
+  overheads : Overheads.t;
+  release : float;  (** Earliest activation time (0 for most processes;
+                        instance offsets after hyperperiod merging). *)
+  local_deadline : float option;  (** The paper's [dlocal], if any. *)
+}
+
+type message = private {
+  mid : int;
+  mname : string;
+  src : int;  (** Producing process id. *)
+  dst : int;  (** Consuming process id. *)
+  size : float;  (** Worst-case size, translated by the bus model into a
+                     worst-case transmission time. *)
+}
+
+type t
+
+(** Imperative builder; [build] freezes and validates the graph. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_process :
+    ?overheads:Overheads.t ->
+    ?release:float ->
+    ?local_deadline:float ->
+    t ->
+    name:string ->
+    int
+  (** Returns the new process id. Default overheads are {!Overheads.zero};
+      default release is 0. *)
+
+  val add_message : ?name:string -> t -> src:int -> dst:int -> size:float -> int
+  (** Returns the new message id.
+      @raise Invalid_argument on unknown endpoints, a self-loop, or a
+      negative size. *)
+
+  val build : t -> graph
+  (** @raise Invalid_argument if the graph has a cycle. *)
+end
+
+val process_count : t -> int
+val message_count : t -> int
+val process : t -> int -> process
+val message : t -> int -> message
+val processes : t -> process array
+val messages : t -> message array
+
+val out_messages : t -> int -> int list
+(** Messages produced by a process (ids). *)
+
+val in_messages : t -> int -> int list
+(** Messages consumed by a process (ids). *)
+
+val successors : t -> int -> int list
+(** Consumer processes of a process's messages (deduplicated). *)
+
+val predecessors : t -> int -> int list
+
+val sources : t -> int list
+(** Processes with no predecessors. *)
+
+val sinks : t -> int list
+
+val topological_order : t -> int list
+(** Process ids, every producer before each of its consumers. *)
+
+val depth : t -> int array
+(** Longest path (in edge count) from any source, per process. *)
+
+val critical_path_length : t -> proc_time:(int -> float) -> msg_time:(int -> float) -> float
+(** Longest source-to-sink path where processes cost [proc_time pid] and
+    messages [msg_time mid]; includes process releases. Lower bound on
+    any schedule length. *)
+
+val restrict : t -> keep:(int -> bool) -> t * int array
+(** [restrict g ~keep] is the subgraph induced by the processes
+    satisfying [keep] (messages are kept when both endpoints are kept),
+    together with the translation [old pid -> new pid] (entries for
+    dropped processes are [-1]). Used e.g. to schedule the hard subset
+    of a mixed soft/hard application. *)
+
+val find_process : t -> string -> int option
+(** Lookup by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type source = {
+  graph : Graph.t;
+  period : float;
+  deadline : float;
+  transparency : Transparency.t;
+}
+
+let as_whole name x =
+  if x <= 0. || Float.rem x 1.0 <> 0. then
+    invalid_arg (Printf.sprintf "Merge: %s must be a positive whole number" name);
+  int_of_float x
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = a / gcd a b * b
+
+let hyperperiod = function
+  | [] -> invalid_arg "Merge.hyperperiod: no periods"
+  | ps ->
+      let ints = List.map (as_whole "period") ps in
+      float_of_int (List.fold_left lcm 1 ints)
+
+let merge sources =
+  if sources = [] then invalid_arg "Merge.merge: no applications";
+  List.iter
+    (fun s ->
+      if s.deadline <= 0. || s.deadline > s.period then
+        invalid_arg "Merge.merge: deadline must be in (0, period]")
+    sources;
+  let t = hyperperiod (List.map (fun s -> s.period) sources) in
+  let b = Graph.Builder.create () in
+  let frozen = ref [] in
+  let instantiate s j =
+    let offset = float_of_int j *. s.period in
+    let suffix name = if j = 0 then name else Printf.sprintf "%s@%d" name j in
+    let g = s.graph in
+    let sink_set = Graph.sinks g in
+    let pid_map =
+      Array.map
+        (fun (p : Graph.process) ->
+          (* Sinks inherit the instance deadline so the merged application
+             preserves each source application's completion constraint. *)
+          let local_deadline =
+            let instance_dl = offset +. s.deadline in
+            match p.Graph.local_deadline with
+            | Some d -> Some (min (offset +. d) instance_dl)
+            | None ->
+                if List.mem p.Graph.pid sink_set then Some instance_dl
+                else None
+          in
+          Graph.Builder.add_process b ~overheads:p.Graph.overheads
+            ~release:(p.Graph.release +. offset)
+            ?local_deadline:
+              (match local_deadline with Some d -> Some d | None -> None)
+            ~name:(suffix p.Graph.pname))
+        (Graph.processes g)
+    in
+    Array.iter
+      (fun (m : Graph.message) ->
+        let mid =
+          Graph.Builder.add_message b ~name:(suffix m.Graph.mname)
+            ~src:pid_map.(m.Graph.src) ~dst:pid_map.(m.Graph.dst)
+            ~size:m.Graph.size
+        in
+        if Transparency.is_frozen_msg s.transparency m.Graph.mid then
+          frozen := Transparency.Msg mid :: !frozen)
+      (Graph.messages g);
+    Array.iteri
+      (fun pid new_pid ->
+        if Transparency.is_frozen_proc s.transparency pid then
+          frozen := Transparency.Proc new_pid :: !frozen)
+      pid_map
+  in
+  List.iter
+    (fun s ->
+      let copies = int_of_float (t /. s.period) in
+      for j = 0 to copies - 1 do
+        instantiate s j
+      done)
+    sources;
+  let graph = Graph.Builder.build b in
+  App.make
+    ~transparency:(Transparency.of_list !frozen)
+    ~graph ~deadline:t ~period:t ()

@@ -1,0 +1,26 @@
+(** Hyperperiod merging of periodic applications (paper, Sec. 4).
+
+    A set of periodic applications [Ak], each an acyclic graph with
+    period [Tk], is merged into a single virtual application with period
+    T = lcm of all [Tk]: application [Ak] contributes [T / Tk] instances,
+    instance [j] released at [j * Tk] and (if the source application has
+    a deadline tighter than its period) deadlined at [j * Tk + Dk] via
+    per-process local deadlines on its sinks. *)
+
+type source = {
+  graph : Graph.t;
+  period : float;  (** Must be a positive whole number of time units. *)
+  deadline : float;  (** Deadline of each instance, [<= period]. *)
+  transparency : Transparency.t;
+}
+
+val hyperperiod : float list -> float
+(** Least common multiple of whole-number periods.
+    @raise Invalid_argument on an empty list or a non-integral or
+    non-positive period. *)
+
+val merge : source list -> App.t
+(** Merged virtual application. Process and message names are suffixed
+    with ["@j"] for instance [j > 0]. Transparency requirements carry
+    over to every instance.
+    @raise Invalid_argument on an empty list or invalid periods. *)

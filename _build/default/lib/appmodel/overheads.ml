@@ -1,0 +1,19 @@
+type t = { alpha : float; mu : float; chi : float }
+
+let make ~alpha ~mu ~chi =
+  if alpha < 0. || mu < 0. || chi < 0. then
+    invalid_arg "Overheads.make: negative overhead";
+  { alpha; mu; chi }
+
+let zero = { alpha = 0.; mu = 0.; chi = 0. }
+
+let fig1 = { alpha = 10.; mu = 10.; chi = 5. }
+
+let scale f t =
+  if f < 0. then invalid_arg "Overheads.scale: negative factor";
+  { alpha = f *. t.alpha; mu = f *. t.mu; chi = f *. t.chi }
+
+let equal a b = a.alpha = b.alpha && a.mu = b.mu && a.chi = b.chi
+
+let pp ppf t =
+  Format.fprintf ppf "{alpha=%g; mu=%g; chi=%g}" t.alpha t.mu t.chi

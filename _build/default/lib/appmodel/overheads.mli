@@ -1,0 +1,27 @@
+(** Fault-tolerance overheads of a process (paper, Sec. 3 and 4).
+
+    Every process is characterized, besides its WCET, by
+    - [alpha]: error-detection overhead, paid at the end of every executed
+      segment to decide whether a transient fault corrupted it;
+    - [mu]: recovery overhead, the time to restore the last checkpoint
+      (or the initial inputs) before a re-execution;
+    - [chi]: checkpointing overhead, the time to save a process state
+      (including initial inputs) at a checkpoint. *)
+
+type t = private { alpha : float; mu : float; chi : float }
+
+val make : alpha:float -> mu:float -> chi:float -> t
+(** @raise Invalid_argument if any overhead is negative. *)
+
+val zero : t
+(** All overheads zero — the "ignore fault tolerance" configuration used
+    when computing the baseline schedule length of the FTO metric. *)
+
+val fig1 : t
+(** The running example of the paper's Fig. 1: α = 10, µ = 10, χ = 5 ms. *)
+
+val scale : float -> t -> t
+(** Multiply all three overheads by a non-negative factor. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

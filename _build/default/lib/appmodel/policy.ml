@@ -1,0 +1,75 @@
+type kind = Checkpointing | Replication | Replication_and_checkpointing
+
+type copy_plan = { recoveries : int; checkpoints : int }
+
+type t = { copies : copy_plan array }
+
+let validate_plan p =
+  if p.recoveries < 0 then invalid_arg "Policy: negative recoveries";
+  if p.checkpoints < 1 then invalid_arg "Policy: checkpoints < 1"
+
+let make plans =
+  match plans with
+  | [] -> invalid_arg "Policy.make: no copies"
+  | _ ->
+      List.iter validate_plan plans;
+      { copies = Array.of_list plans }
+
+let checkpointing ~recoveries ~checkpoints =
+  make [ { recoveries; checkpoints } ]
+
+let re_execution ~recoveries = checkpointing ~recoveries ~checkpoints:1
+
+let replication ~k =
+  if k < 0 then invalid_arg "Policy.replication: k < 0";
+  make (List.init (k + 1) (fun _ -> { recoveries = 0; checkpoints = 1 }))
+
+let combined ~replicas ~recoveries_per_copy =
+  if List.length recoveries_per_copy <> replicas + 1 then
+    invalid_arg "Policy.combined: need one recovery budget per copy";
+  make
+    (List.map (fun recoveries -> { recoveries; checkpoints = 1 })
+       recoveries_per_copy)
+
+let replica_count t = Array.length t.copies
+
+let added_replicas t = replica_count t - 1
+
+let total_recoveries t =
+  Array.fold_left (fun acc p -> acc + p.recoveries) 0 t.copies
+
+let kind t =
+  if replica_count t = 1 then Checkpointing
+  else if total_recoveries t = 0 then Replication
+  else Replication_and_checkpointing
+
+let tolerated_faults t = added_replicas t + total_recoveries t
+
+let tolerates t ~k = tolerated_faults t >= k
+
+let with_checkpoints t ~copy ~checkpoints =
+  if copy < 0 || copy >= replica_count t then
+    invalid_arg "Policy.with_checkpoints: bad copy index";
+  if checkpoints < 1 then invalid_arg "Policy.with_checkpoints: checkpoints < 1";
+  let copies = Array.copy t.copies in
+  copies.(copy) <- { copies.(copy) with checkpoints };
+  { copies }
+
+let equal a b =
+  Array.length a.copies = Array.length b.copies
+  && Array.for_all2 (fun (x : copy_plan) y -> x = y) a.copies b.copies
+
+let pp_kind ppf = function
+  | Checkpointing -> Format.pp_print_string ppf "checkpointing"
+  | Replication -> Format.pp_print_string ppf "replication"
+  | Replication_and_checkpointing ->
+      Format.pp_print_string ppf "replication+checkpointing"
+
+let pp ppf t =
+  let pp_plan ppf p =
+    Format.fprintf ppf "(R=%d,X=%d)" p.recoveries p.checkpoints
+  in
+  Format.fprintf ppf "%a[%a]" pp_kind (kind t)
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       pp_plan)
+    (Array.to_seq t.copies)

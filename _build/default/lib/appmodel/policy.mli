@@ -1,0 +1,68 @@
+(** Fault-tolerance policy of a single process (paper, Sec. 4).
+
+    The paper describes the assignment with four functions:
+    - [P]: checkpointing, replication, or both;
+    - [Q]: the number of replicas added to the original process;
+    - [R]: the number of recoveries of each process / replica;
+    - [X]: the number of checkpoints of each process / replica.
+
+    Here a policy bundles all four: it is a non-empty array of per-copy
+    plans — copy 0 is the original process, copies 1..q its replicas —
+    where each copy carries its recovery budget and checkpoint count. *)
+
+type kind =
+  | Checkpointing
+      (** Single copy, time redundancy only (includes simple re-execution,
+          the one-checkpoint case). *)
+  | Replication  (** Multiple copies, none of which ever recovers. *)
+  | Replication_and_checkpointing
+      (** Multiple copies, at least one of which can recover. *)
+
+type copy_plan = { recoveries : int; checkpoints : int }
+(** Recovery budget [R] and checkpoint count [X] of one copy.
+    [checkpoints >= 1]; a copy that is "not checkpointed" in the paper's
+    sense ([X = 0]) is represented as [checkpoints = 1] with
+    [recoveries = 0] — executions are identical. *)
+
+type t = private { copies : copy_plan array }
+
+val make : copy_plan list -> t
+(** General constructor.
+    @raise Invalid_argument on an empty list, negative recoveries, or
+    checkpoint counts below 1. *)
+
+val checkpointing : recoveries:int -> checkpoints:int -> t
+(** Single copy with rollback recovery. *)
+
+val re_execution : recoveries:int -> t
+(** Single copy, single checkpoint at activation (paper, Sec. 3.1). *)
+
+val replication : k:int -> t
+(** [k + 1] copies, no recoveries: masks [k] faults by space redundancy.
+    @raise Invalid_argument if [k < 0]. *)
+
+val combined : replicas:int -> recoveries_per_copy:int list -> t
+(** [replicas + 1] copies; copy [j] gets the [j]-th recovery budget
+    (re-execution granularity, one checkpoint each).
+    @raise Invalid_argument on a length mismatch. *)
+
+val kind : t -> kind
+val replica_count : t -> int
+(** Total number of copies ([Q + 1] in the paper's notation). *)
+
+val added_replicas : t -> int
+(** The paper's [Q]: copies beyond the original. *)
+
+val tolerated_faults : t -> int
+(** [Q + sum of recoveries]: the number of transient faults this policy
+    masks in the worst case (paper, Sec. 4: Fig. 4c has Q=1, R=(0,1),
+    tolerating k=2). *)
+
+val tolerates : t -> k:int -> bool
+
+val with_checkpoints : t -> copy:int -> checkpoints:int -> t
+(** Functional update of one copy's checkpoint count. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,33 @@
+(** Transparency requirements (paper, Sec. 3.3 and 4).
+
+    The designer may declare arbitrary processes and messages as
+    {e frozen}: a frozen node is allocated the same start time in every
+    alternative fault-tolerant schedule of the application, which
+    contains faults (recovering on one node is invisible elsewhere) and
+    eases debugging — at the price of a longer worst-case schedule. *)
+
+type obj = Proc of int | Msg of int
+
+type t
+
+val none : t
+(** Fully non-transparent system: nothing frozen. *)
+
+val of_list : obj list -> t
+
+val all : Graph.t -> t
+(** Fully transparent system: every process and message frozen. *)
+
+val all_messages : Graph.t -> t
+(** Only inter-process communication frozen — the customary intermediate
+    setting (fault containment between nodes). *)
+
+val freeze : t -> obj -> t
+val thaw : t -> obj -> t
+val is_frozen : t -> obj -> bool
+val is_frozen_proc : t -> int -> bool
+val is_frozen_msg : t -> int -> bool
+val frozen_objects : t -> obj list
+val cardinal : t -> int
+val equal : t -> t -> bool
+val pp : Graph.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/archmodel/arch.ml: Array Bus Format List Printf

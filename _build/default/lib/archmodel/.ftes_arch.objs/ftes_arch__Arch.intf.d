@@ -1,0 +1,1 @@
+lib/archmodel/arch.mli: Bus Format

@@ -1,0 +1,1 @@
+lib/archmodel/bus.ml: Array Format

@@ -1,0 +1,1 @@
+lib/archmodel/bus.mli: Format

@@ -1,0 +1,1 @@
+lib/archmodel/examples.ml: Arch List Wcet

@@ -1,0 +1,1 @@
+lib/archmodel/examples.mli: Arch Wcet

@@ -1,0 +1,1 @@
+lib/archmodel/wcet.ml: Array Format Ftes_util List Option Printf

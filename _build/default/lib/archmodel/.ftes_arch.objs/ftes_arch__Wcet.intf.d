@@ -1,0 +1,1 @@
+lib/archmodel/wcet.mli: Format

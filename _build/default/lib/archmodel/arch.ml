@@ -1,0 +1,35 @@
+type node = { nid : int; nname : string }
+
+type t = { nodes : node array; bus : Bus.t }
+
+let make ?names ~node_count ~bus () =
+  if node_count <= 0 then invalid_arg "Arch.make: node_count <= 0";
+  let names =
+    match names with
+    | None -> List.init node_count (fun i -> Printf.sprintf "N%d" (i + 1))
+    | Some ns ->
+        if List.length ns <> node_count then
+          invalid_arg "Arch.make: names length mismatch";
+        ns
+  in
+  let nodes =
+    Array.of_list (List.mapi (fun nid nname -> { nid; nname }) names)
+  in
+  { nodes; bus }
+
+let node_count t = Array.length t.nodes
+
+let node t nid =
+  if nid < 0 || nid >= node_count t then invalid_arg "Arch.node: bad id";
+  t.nodes.(nid)
+
+let node_ids t = List.init (node_count t) (fun i -> i)
+
+let bus t = t.bus
+
+let default_bus ~node_count =
+  Bus.tdma ~slot_length:10. ~bandwidth:1. node_count
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>architecture: %d nodes, %a@]" (node_count t) Bus.pp
+    t.bus

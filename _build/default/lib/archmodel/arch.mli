@@ -1,0 +1,24 @@
+(** A distributed platform: computation nodes sharing a broadcast bus
+    (paper, Sec. 2). Each node consists of a CPU and a communication
+    controller; communications follow static schedule tables over a
+    TDMA protocol (or a simpler contention bus for experiments). *)
+
+type node = private { nid : int; nname : string }
+
+type t = private { nodes : node array; bus : Bus.t }
+
+val make : ?names:string list -> node_count:int -> bus:Bus.t -> unit -> t
+(** Default names are ["N1"; "N2"; ...].
+    @raise Invalid_argument if [node_count <= 0] or names mismatch. *)
+
+val node_count : t -> int
+val node : t -> int -> node
+val node_ids : t -> int list
+val bus : t -> Bus.t
+
+val default_bus : node_count:int -> Bus.t
+(** The TDMA bus used throughout examples and experiments: one slot per
+    node, slot length 10, bandwidth 1 (a size-10 message fills one
+    slot). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+let build rows =
+  let procs = List.length rows in
+  let nodes = match rows with [] -> 0 | r :: _ -> List.length r in
+  let arch =
+    Arch.make ~node_count:nodes ~bus:(Arch.default_bus ~node_count:nodes) ()
+  in
+  let w = Wcet.create ~procs ~nodes in
+  List.iteri
+    (fun pid row ->
+      List.iteri
+        (fun nid entry ->
+          match entry with
+          | Some c -> Wcet.set w ~pid ~nid c
+          | None -> ())
+        row)
+    rows;
+  Wcet.validate w;
+  (arch, w)
+
+let fig3 () =
+  build
+    [
+      [ Some 20.; Some 30. ];
+      [ Some 40.; Some 60. ];
+      [ Some 60.; None ];
+      [ Some 40.; Some 60. ];
+      [ Some 40.; Some 60. ];
+    ]
+
+let fig5 () =
+  build
+    [
+      [ Some 30.; None ];
+      [ Some 20.; None ];
+      [ None; Some 20. ];
+      [ None; Some 30. ];
+    ]

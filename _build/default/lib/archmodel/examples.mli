@@ -1,0 +1,13 @@
+(** Platforms and WCET tables matching the paper's worked examples. The
+    process ids follow the creation order of the corresponding graphs in
+    [Ftes_app.App] ([fig3], [fig5]). *)
+
+val fig3 : unit -> Arch.t * Wcet.t
+(** Fig. 3b/3c: two nodes; WCETs P1: 20/30, P2: 40/60, P3: 60/X,
+    P4: 40/60, P5: 40/60 (the "X" is the paper's mapping restriction:
+    P3 cannot run on N2). *)
+
+val fig5 : unit -> Arch.t * Wcet.t
+(** Two nodes for the Fig. 5/6 scenario: P1: 30/X, P2: 20/X, P3: X/20,
+    P4: X/30 — forcing the paper's mapping (P1, P2 on N1; P3, P4 on
+    N2). *)

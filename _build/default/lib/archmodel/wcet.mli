@@ -1,0 +1,44 @@
+(** Worst-case execution time table (paper, Fig. 3c).
+
+    For every process and every node it may be mapped to, the WCET is
+    known; an absent entry (the paper's "X") is a mapping restriction —
+    the process can never execute on that node. *)
+
+type t
+
+val create : procs:int -> nodes:int -> t
+(** All entries start absent. *)
+
+val set : t -> pid:int -> nid:int -> float -> unit
+(** @raise Invalid_argument on a negative WCET or out-of-range ids. *)
+
+val forbid : t -> pid:int -> nid:int -> unit
+(** Reinstate the mapping restriction for an entry. *)
+
+val get : t -> pid:int -> nid:int -> float option
+
+val get_exn : t -> pid:int -> nid:int -> float
+(** @raise Invalid_argument if the mapping is restricted. *)
+
+val allowed : t -> pid:int -> nid:int -> bool
+
+val allowed_nodes : t -> pid:int -> int list
+(** Nodes the process may be mapped to, ascending. *)
+
+val fastest_node : t -> pid:int -> (int * float) option
+(** Node with the smallest WCET for the process (ties broken by id). *)
+
+val average_wcet : t -> pid:int -> float
+(** Mean WCET over allowed nodes; 0. if none. *)
+
+val proc_count : t -> int
+val node_count : t -> int
+
+val validate : t -> unit
+(** @raise Invalid_argument if some process has no allowed node. *)
+
+val map : (float -> float) -> t -> t
+(** Pointwise transform of all present entries (e.g. scaling). *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_optim Ftes_sched Ftes_soft Ftes_util Ftes_workload List Printf

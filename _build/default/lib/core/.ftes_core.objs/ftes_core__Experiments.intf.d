@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Format Ftes_app Ftes_ftcpg Ftes_optim Ftes_sched Ftes_soft Ftes_util

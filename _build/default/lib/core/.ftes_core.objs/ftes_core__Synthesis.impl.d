@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Format Ftes_app Ftes_ftcpg Ftes_optim Ftes_sched Ftes_sim List Option Printf

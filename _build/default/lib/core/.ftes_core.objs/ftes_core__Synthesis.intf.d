@@ -1,0 +1,1 @@
+lib/core/synthesis.mli: Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_optim Ftes_sched

@@ -1,0 +1,288 @@
+module Overheads = Ftes_app.Overheads
+module Fttime = Ftes_app.Fttime
+module App = Ftes_app.App
+module Problem = Ftes_ftcpg.Problem
+module Strategy = Ftes_optim.Strategy
+module Tabu = Ftes_optim.Tabu
+module Checkpoint = Ftes_optim.Checkpoint
+module Slack = Ftes_sched.Slack
+module Gen = Ftes_workload.Gen
+module Stats = Ftes_util.Stats
+
+type series = { x_label : string; xs : float list; curves : (string * float list) list }
+
+let fig1 () =
+  let c = 60. and o = Overheads.fig1 in
+  [
+    ("P1 plain (no FT)", c +. o.Overheads.alpha);
+    ("P1, 1 checkpoint, no fault", Fttime.no_fault_length ~c o ~checkpoints:1);
+    ("P1, 2 checkpoints, no fault", Fttime.no_fault_length ~c o ~checkpoints:2);
+    ( "P1, 1 checkpoint, 1 fault (re-execution)",
+      Fttime.worst_case_length ~c o ~checkpoints:1 ~recoveries:1 );
+    ( "P1, 2 checkpoints, 1 fault (Fig. 1c)",
+      Fttime.worst_case_length ~c o ~checkpoints:2 ~recoveries:1 );
+  ]
+
+let fig2 () =
+  let c = 60. in
+  let o = Overheads.make ~alpha:10. ~mu:0. ~chi:0. in
+  let replica = Fttime.replica_length ~c o in
+  [
+    (* Both replicas run in parallel on N1/N2 regardless of faults. *)
+    ("active replication, no fault", replica);
+    ("active replication, 1 fault", replica);
+    ("primary-backup, no fault", replica);
+    (* The backup starts only after the primary's fault is detected. *)
+    ("primary-backup, 1 fault", replica +. replica);
+  ]
+
+let fig4 () =
+  let c = 30. in
+  let o = Overheads.make ~alpha:5. ~mu:5. ~chi:5. in
+  let checkpointing =
+    Fttime.worst_case_length ~c o ~checkpoints:3 ~recoveries:2
+  in
+  let replication = Fttime.replica_length ~c o in
+  let combined =
+    (* Two replicas in parallel; the recovering one (R = 1) dominates. *)
+    max (Fttime.replica_length ~c o)
+      (Fttime.worst_case_length ~c o ~checkpoints:1 ~recoveries:1)
+  in
+  [
+    ("checkpointing (X=3, R=2), worst case", checkpointing);
+    ("replication (3 replicas), worst case", replication);
+    ("replication+checkpointing (Q=1, R=(0,1)), worst case", combined);
+  ]
+
+let fig5_problem () =
+  let app = App.fig5 () in
+  let arch, wcet = Ftes_arch.Examples.fig5 () in
+  let policies = Problem.default_policies ~app ~k:2 in
+  let mapping = Problem.fastest_mapping ~app ~wcet ~policies in
+  Problem.make ~app ~arch ~wcet ~k:2 ~policies ~mapping
+
+let fig5 () = Ftes_ftcpg.Ftcpg.build (fig5_problem ())
+
+let fig6 () = Ftes_sched.Conditional.schedule (fig5 ())
+
+let k_for_size n = max 3 (min 7 (2 + (n / 20)))
+
+let instance_inputs ~size ~seed =
+  let nodes = 2 + (seed mod 5) in
+  let spec = { Gen.default with processes = size; nodes; seed } in
+  let app, arch, wcet = Gen.instance spec in
+  { Strategy.app; arch; wcet; k = k_for_size size }
+
+let fig7 ?(seeds_per_point = 5) ?(sizes = [ 20; 40; 60; 80; 100 ])
+    ?(tabu = Tabu.default_options) () =
+  let names = [ Strategy.MR; Strategy.SFX; Strategy.MX ] in
+  let deviations =
+    List.map
+      (fun size ->
+        let per_seed =
+          List.init seeds_per_point (fun s ->
+              let seed = (size * 131) + s in
+              let inputs = instance_inputs ~size ~seed in
+              let nft = Strategy.nft_length ~opts:tabu inputs in
+              let mxr = Strategy.run ~opts:tabu ~nft inputs Strategy.MXR in
+              List.map
+                (fun name ->
+                  (* MR drags (k+1) copies of everything through each
+                     evaluation and its deviation is insensitive to the
+                     search budget — trim it on large instances. *)
+                  let opts =
+                    if name = Strategy.MR && size > 20 then
+                      { tabu with iterations = 10; sample = 5 }
+                    else tabu
+                  in
+                  let o = Strategy.run ~opts ~nft inputs name in
+                  (* "MXR is x% better than S" (paper, Sec. 6). *)
+                  (o.Strategy.length -. mxr.Strategy.length)
+                  /. o.Strategy.length *. 100.)
+                names)
+        in
+        List.mapi
+          (fun i _ -> Stats.mean (List.map (fun row -> List.nth row i) per_seed))
+          names)
+      sizes
+  in
+  {
+    x_label = "processes";
+    xs = List.map float_of_int sizes;
+    curves =
+      List.mapi
+        (fun i name ->
+          ( Strategy.name_to_string name,
+            List.map (fun row -> List.nth row i) deviations ))
+        names;
+  }
+
+let fig8 ?(seeds_per_point = 5) ?(sizes = [ 40; 60; 80; 100 ])
+    ?(tabu = Tabu.default_options) () =
+  let deviation =
+    List.map
+      (fun size ->
+        let per_seed =
+          List.init seeds_per_point (fun s ->
+              let seed = (size * 137) + s in
+              let inputs = instance_inputs ~size ~seed in
+              let nft = Strategy.nft_length ~opts:tabu inputs in
+              (* Shared mapping optimization; then local vs global
+                 checkpoint counts (paper, Fig. 8 setup). *)
+              let local = Strategy.run ~opts:tabu ~nft inputs Strategy.MC_local in
+              let glob =
+                Checkpoint.global_optimize
+                  (Checkpoint.assign_local local.Strategy.problem)
+              in
+              let l_local = local.Strategy.length in
+              let l_glob = Slack.length glob in
+              let fto_local = Slack.fto ~ft_length:l_local ~nft_length:nft in
+              let fto_glob = Slack.fto ~ft_length:l_glob ~nft_length:nft in
+              if fto_local <= 0. then 0.
+              else (fto_local -. fto_glob) /. fto_local *. 100.)
+        in
+        Stats.mean per_seed)
+      sizes
+  in
+  {
+    x_label = "processes";
+    xs = List.map float_of_int sizes;
+    curves = [ ("global vs local checkpointing", deviation) ];
+  }
+
+let transparency_tradeoff ?(seeds = 5)
+    ?(levels = [ 0.; 0.25; 0.5; 0.75; 1.0 ]) ?(processes = 8) () =
+  let schedule_one ~seed ~level =
+    let spec =
+      {
+        Gen.default with
+        processes;
+        nodes = 2;
+        seed;
+        frozen_msg_prob = level;
+        frozen_proc_prob = level /. 2.;
+      }
+    in
+    let p = Gen.problem ~k:2 spec in
+    let table = Ftes_sched.Conditional.schedule (Ftes_ftcpg.Ftcpg.build p) in
+    let columns =
+      List.length
+        (List.sort_uniq Ftes_ftcpg.Cond.compare
+           (List.map
+              (fun e -> e.Ftes_sched.Table.guard)
+              table.Ftes_sched.Table.entries))
+    in
+    ( Ftes_sched.Table.schedule_length table,
+      float_of_int (Ftes_sched.Table.entry_count table),
+      float_of_int columns )
+  in
+  let per_level =
+    List.map
+      (fun level ->
+        let ratios =
+          List.init seeds (fun s ->
+              let seed = 1000 + s in
+              let len0, ent0, col0 = schedule_one ~seed ~level:0. in
+              let len, ent, col = schedule_one ~seed ~level in
+              (len /. len0 *. 100., ent /. ent0 *. 100., col /. col0 *. 100.))
+        in
+        ( Stats.mean (List.map (fun (a, _, _) -> a) ratios),
+          Stats.mean (List.map (fun (_, b, _) -> b) ratios),
+          Stats.mean (List.map (fun (_, _, c) -> c) ratios) ))
+      levels
+  in
+  {
+    x_label = "frozen fraction (%)";
+    xs = List.map (fun l -> l *. 100.) levels;
+    curves =
+      [
+        ( "worst-case length (% of non-transparent)",
+          List.map (fun (a, _, _) -> a) per_level );
+        ( "table entries (% of non-transparent)",
+          List.map (fun (_, b, _) -> b) per_level );
+        ( "distinct guard columns (% of non-transparent)",
+          List.map (fun (_, _, c) -> c) per_level );
+      ];
+  }
+
+let mk_soft_classes ~rng ~graph ~horizon ~soft_prob =
+  let n = Ftes_app.Graph.process_count graph in
+  let classes = Array.make n Ftes_soft.Softsched.Hard in
+  let soft = Array.make n false in
+  (* Reverse topological order: a process may only be soft when every
+     successor already is (hard must never depend on soft). *)
+  List.iter
+    (fun pid ->
+      let succs_soft =
+        List.for_all
+          (fun s -> soft.(s))
+          (Ftes_app.Graph.successors graph pid)
+      in
+      if succs_soft && Ftes_util.Rng.chance rng soft_prob then begin
+        soft.(pid) <- true;
+        let value = 50. +. Ftes_util.Rng.float rng 100. in
+        classes.(pid) <-
+          Ftes_soft.Softsched.Soft
+            (Ftes_soft.Utility.linear ~value
+               ~from_:(horizon *. (0.3 +. Ftes_util.Rng.float rng 0.4))
+               ~zero_at:(horizon *. (1.2 +. Ftes_util.Rng.float rng 0.8)))
+      end)
+    (List.rev (Ftes_app.Graph.topological_order graph));
+  classes
+
+let soft_utility_vs_k ?(seeds = 5) ?(ks = [ 0; 1; 2; 3; 4 ]) ?(processes = 16)
+    () =
+  let per_k =
+    List.map
+      (fun k ->
+        let ratios =
+          List.init seeds (fun s ->
+              let seed = 500 + s in
+              let spec = { Gen.default with processes; nodes = 3; seed } in
+              (* The same instance and classification at every k. *)
+              let p1 = Gen.problem ~k:1 spec in
+              let p0 =
+                Problem.make ~app:p1.Problem.app ~arch:p1.Problem.arch
+                  ~wcet:p1.Problem.wcet ~k
+                  ~policies:
+                    (Array.map
+                       (fun _ -> Ftes_app.Policy.re_execution ~recoveries:k)
+                       p1.Problem.policies)
+                  ~mapping:p1.Problem.mapping
+              in
+              let g = Problem.graph p0 in
+              let horizon = Slack.length ~ft:false p0 *. 1.5 in
+              let rng = Ftes_util.Rng.create seed in
+              let classes =
+                mk_soft_classes ~rng ~graph:g ~horizon ~soft_prob:0.8
+              in
+              let r = Ftes_soft.Softsched.schedule ~classes p0 in
+              let bound = max 1e-9 r.Ftes_soft.Softsched.utility_bound in
+              ( r.Ftes_soft.Softsched.utility_no_fault /. bound *. 100.,
+                r.Ftes_soft.Softsched.utility_guaranteed /. bound *. 100. ))
+        in
+        (Stats.mean (List.map fst ratios), Stats.mean (List.map snd ratios)))
+      ks
+  in
+  {
+    x_label = "tolerated faults k";
+    xs = List.map float_of_int ks;
+    curves =
+      [
+        ("fault-free utility (% of bound)", List.map fst per_k);
+        ("guaranteed utility (% of bound)", List.map snd per_k);
+      ];
+  }
+
+let pp_series ppf s =
+  let header = s.x_label :: List.map fst s.curves in
+  let rows =
+    List.mapi
+      (fun i x ->
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun (_, ys) -> Printf.sprintf "%.1f" (List.nth ys i))
+             s.curves)
+      s.xs
+  in
+  Format.pp_print_string ppf (Ftes_util.Chart.render_table ~header rows)

@@ -1,0 +1,42 @@
+let check ~rate ~period =
+  if rate < 0. then invalid_arg "Reliability: negative rate";
+  if period < 0. then invalid_arg "Reliability: negative period"
+
+let prob_at_most_k ~rate ~period ~k =
+  check ~rate ~period;
+  if k < 0 then invalid_arg "Reliability: negative k";
+  let lambda = rate *. period in
+  (* exp(-lambda) * sum_{i<=k} lambda^i / i!, accumulated iteratively to
+     stay finite for large lambda and k. *)
+  let rec go i term acc =
+    if i > k then acc
+    else
+      let term = if i = 0 then 1. else term *. lambda /. float_of_int i in
+      go (i + 1) term (acc +. term)
+  in
+  let s = go 0 1. 0. in
+  min 1. (exp (-.lambda) *. s)
+
+let prob_more_than_k ~rate ~period ~k =
+  max 0. (1. -. prob_at_most_k ~rate ~period ~k)
+
+let min_k ?(max_k = 64) ~rate ~period ~target () =
+  if target <= 0. || target >= 1. then
+    invalid_arg "Reliability.min_k: target must be in (0, 1)";
+  let rec go k =
+    if k > max_k then
+      invalid_arg
+        (Printf.sprintf
+           "Reliability.min_k: even k = %d does not reach the target" max_k)
+    else if prob_at_most_k ~rate ~period ~k >= target then k
+    else go (k + 1)
+  in
+  go 0
+
+let mission_reliability ~rate ~period ~k ~cycles =
+  if cycles < 0. then invalid_arg "Reliability: negative cycles";
+  prob_at_most_k ~rate ~period ~k ** cycles
+
+let cycles_in ~period ~hours =
+  if period <= 0. then invalid_arg "Reliability.cycles_in: period <= 0";
+  hours *. 3600. *. 1000. /. period

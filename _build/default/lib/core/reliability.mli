@@ -1,0 +1,33 @@
+(** Choosing the fault hypothesis [k].
+
+    The paper takes "at most [k] transient faults per operation cycle"
+    as an input (Sec. 2). In practice [k] is derived from the transient
+    fault rate: modeling fault arrivals as a Poisson process with rate
+    [rate] (faults per time unit), the number of faults in one cycle of
+    length [period] is Poisson([rate * period]), and the synthesis
+    guarantees the cycle whenever at most [k] faults arrive. These
+    helpers convert between fault rates, per-cycle reliability goals and
+    the minimal [k] to hand to the synthesis flow. *)
+
+val prob_at_most_k : rate:float -> period:float -> k:int -> float
+(** Probability that a cycle sees at most [k] transient faults.
+    @raise Invalid_argument on negative arguments. *)
+
+val prob_more_than_k : rate:float -> period:float -> k:int -> float
+(** [1 - prob_at_most_k] — the probability the fault hypothesis is
+    exceeded (the residual failure probability per cycle). *)
+
+val min_k : ?max_k:int -> rate:float -> period:float -> target:float -> unit -> int
+(** Smallest [k] with [prob_at_most_k >= target]. [target] in (0, 1);
+    [max_k] defaults to 64.
+    @raise Invalid_argument when even [max_k] faults do not reach the
+    target (the rate is too high for the cycle length). *)
+
+val mission_reliability :
+  rate:float -> period:float -> k:int -> cycles:float -> float
+(** Probability that [cycles] consecutive cycles all stay within the
+    hypothesis: [prob_at_most_k ^ cycles]. *)
+
+val cycles_in : period:float -> hours:float -> float
+(** Number of cycles executed in a mission of the given duration, when
+    the period is in milliseconds. *)

@@ -1,0 +1,104 @@
+module Problem = Ftes_ftcpg.Problem
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module App = Ftes_app.App
+module Strategy = Ftes_optim.Strategy
+module Tabu = Ftes_optim.Tabu
+module Slack = Ftes_sched.Slack
+module Table = Ftes_sched.Table
+
+type t = {
+  problem : Problem.t;
+  estimate : Slack.result;
+  ftcpg : Ftcpg.t option;
+  table : Table.t option;
+  fto : float option;
+}
+
+type options = {
+  strategy : Strategy.name;
+  tabu : Tabu.options;
+  conditional : bool;
+  max_vertices : int;
+  compute_fto : bool;
+  checkpointing : bool;
+}
+
+let default_options =
+  {
+    strategy = Strategy.MXR;
+    tabu = Tabu.default_options;
+    conditional = true;
+    max_vertices = 20_000;
+    compute_fto = false;
+    checkpointing = false;
+  }
+
+let try_tables ~conditional ~max_vertices problem =
+  if not conditional then (None, None)
+  else
+    match Ftcpg.build ~max_vertices problem with
+    | exception Ftcpg.Too_large _ -> (None, None)
+    | ftcpg -> (
+        match Ftes_sched.Conditional.schedule ftcpg with
+        | exception Ftes_sched.Conditional.Too_many_tracks _ ->
+            (Some ftcpg, None)
+        | table -> (Some ftcpg, Some table))
+
+let of_problem ?(conditional = true) ?(max_vertices = 20_000) problem =
+  let estimate = Slack.evaluate problem in
+  let ftcpg, table = try_tables ~conditional ~max_vertices problem in
+  { problem; estimate; ftcpg; table; fto = None }
+
+let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
+  let inputs = { Strategy.app; arch; wcet; k } in
+  let nft =
+    if options.compute_fto then
+      Some (Strategy.nft_length ~opts:options.tabu inputs)
+    else None
+  in
+  let outcome = Strategy.run ~opts:options.tabu ?nft inputs options.strategy in
+  let problem =
+    if options.checkpointing then
+      Ftes_optim.Checkpoint.global_optimize outcome.Strategy.problem
+    else outcome.Strategy.problem
+  in
+  let estimate = Slack.evaluate problem in
+  let ftcpg, table =
+    try_tables ~conditional:options.conditional
+      ~max_vertices:options.max_vertices problem
+  in
+  let fto =
+    Option.map
+      (fun n -> Slack.fto ~ft_length:estimate.Slack.length ~nft_length:n)
+      nft
+  in
+  { problem; estimate; ftcpg; table; fto }
+
+let schedulable t =
+  match t.table with
+  | Some table -> Table.meets_deadline table
+  | None ->
+      t.estimate.Slack.length
+      <= t.problem.Problem.app.App.deadline +. 1e-9
+
+let validate t =
+  match t.table with Some table -> Ftes_sim.Sim.validate table | None -> []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>synthesis: estimated worst-case length %g%s@,"
+    t.estimate.Slack.length
+    (match t.fto with
+    | Some f -> Printf.sprintf " (FTO %.1f%%)" f
+    | None -> "");
+  (match t.ftcpg with
+  | Some f -> Format.fprintf ppf "%a@," Ftcpg.pp_summary f
+  | None -> Format.fprintf ppf "FT-CPG not expanded (over budget)@,");
+  (match t.table with
+  | Some table ->
+      Format.fprintf ppf
+        "schedule tables: %d entries, worst-case length %g, %d scenarios@,"
+        (Table.entry_count table)
+        (Table.schedule_length table)
+        (List.length table.Table.tracks)
+  | None -> Format.fprintf ppf "no conditional schedule tables@,");
+  Format.fprintf ppf "schedulable: %b@]" (schedulable t)

@@ -1,0 +1,1 @@
+lib/dsl/dsl.ml: Array Buffer Format Ftes_app Ftes_arch Ftes_ftcpg Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/dsl/dsl.mli: Ftes_app Ftes_arch Ftes_ftcpg

@@ -1,0 +1,1 @@
+lib/ftcpg/cond.ml: Format List Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/ftcpg/cond.mli: Format

@@ -1,0 +1,1 @@
+lib/ftcpg/ftcpg.ml: Array Cond Format Ftes_app Ftes_arch Hashtbl List Mapping Printf Problem

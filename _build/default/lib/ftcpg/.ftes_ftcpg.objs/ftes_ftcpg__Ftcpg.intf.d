@@ -1,0 +1,1 @@
+lib/ftcpg/ftcpg.mli: Cond Format Problem

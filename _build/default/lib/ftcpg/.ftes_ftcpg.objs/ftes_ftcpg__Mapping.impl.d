@@ -1,0 +1,1 @@
+lib/ftcpg/mapping.ml: Array Format Ftes_app Ftes_arch List Printf String

@@ -1,0 +1,1 @@
+lib/ftcpg/mapping.mli: Format Ftes_app Ftes_arch

@@ -1,0 +1,1 @@
+lib/ftcpg/problem.ml: Array Format Ftes_app Ftes_arch List Mapping Option Printf

@@ -1,0 +1,1 @@
+lib/ftcpg/problem.mli: Format Ftes_app Ftes_arch Mapping

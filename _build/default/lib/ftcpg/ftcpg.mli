@@ -1,0 +1,102 @@
+(** The fault-tolerant conditional process graph (paper, Sec. 5.1).
+
+    A FT-CPG G(VP ∪ VC ∪ VT, ES ∪ EC) captures all execution scenarios
+    of an application under at most [k] transient faults:
+
+    - {e regular} nodes execute unconditionally (within their guard);
+    - {e conditional} nodes produce a condition — true if a fault hits
+      the execution, false otherwise — and their outgoing paths are
+      disjoint per condition value;
+    - {e synchronization} nodes (zero execution time) represent frozen
+      processes / messages and the deterministic merge of replica
+      outputs.
+
+    Construction expands every application process into {e copies}: for
+    each input {e context} (a consistent combination of predecessor
+    outcomes), for each replica, a chain of execution {e attempts} —
+    attempt 1 runs the whole (checkpointed) process, attempt [a > 1]
+    re-executes the failed segment after a rollback. Attempt [a] exists
+    under the guard "context holds and attempts 1..a-1 failed" and is
+    conditional while fault budget and recovery budget remain.
+
+    Frozen processes collapse their contexts behind a synchronization
+    node (their faults stay invisible upstream, so they must assume the
+    full budget [k] — the transparency cost discussed in Sec. 3.3).
+    Frozen messages become a single synchronized transmission; messages
+    of replicated producers are sent per replica and merged at a
+    zero-time synchronization node (deterministic merge of active
+    replication). *)
+
+type kind =
+  | Proc_copy of { pid : int; replica : int; attempt : int }
+      (** Execution attempt of one copy of a process. *)
+  | Msg_inst of { mid : int; replica : int }
+      (** One transmission of a message, for one producer outcome. *)
+  | Sync_proc of int  (** Synchronization node of a frozen process. *)
+  | Sync_msg of int
+      (** Synchronized transmission of a frozen message (carries the
+          transmission on the bus), or zero-time merge of the replica
+          instances of a message ([on_bus = false]). *)
+
+type vertex = private {
+  vid : int;
+  kind : kind;
+  name : string;  (** E.g. "P2^4", "P1(2)^1", "m1^2", "P3^S". *)
+  guard : Cond.guard;  (** Guard under which the vertex exists. *)
+  duration : float;  (** CPU time (process copies) or worst-case
+                         transmission time (bus messages); 0 for local
+                         messages and merge nodes. *)
+  conditional : bool;  (** Produces condition [vid] when it completes. *)
+  exec_node : int option;  (** CPU node, for process copies. *)
+  src_node : int option;  (** Sending node, for bus messages. *)
+  on_bus : bool;
+  msg_size : float;  (** For message vertices (0 otherwise). *)
+  frozen : bool;  (** Must receive the same start time in all
+                      alternative schedules. *)
+  preds : int list;
+  succs : int list;
+}
+
+type t
+
+exception Too_large of int
+(** Raised by {!build} when the expansion exceeds the vertex cap; the
+    payload is the cap. The FT-CPG grows exponentially with [k] — the
+    paper's motivation for transparency and for slack-based scheduling
+    inside optimization loops. *)
+
+val build : ?max_vertices:int -> Problem.t -> t
+(** Expand the problem instance into its FT-CPG. [max_vertices]
+    defaults to 50_000. *)
+
+val problem : t -> Problem.t
+val vertex_count : t -> int
+val vertex : t -> int -> vertex
+val vertices : t -> vertex array
+(** In topological (creation) order: predecessors have smaller ids. *)
+
+val conditional_vertices : t -> int list
+val proc_copies : t -> pid:int -> int list
+(** All attempt vertices of a process, across replicas and contexts. *)
+
+val msg_vertices : t -> mid:int -> int list
+(** Message instances (and the synchronization vertex, if any). *)
+
+val cond_name : t -> int -> string
+(** Name of the condition produced by a conditional vertex, e.g.
+    "FP2^4". *)
+
+val scenarios : t -> Cond.guard list
+(** All complete fault scenarios: every guard assigns an outcome to
+    every conditional vertex it reaches. Their fault counts never
+    exceed [k]. Exponential — intended for validation on moderate
+    instances. *)
+
+val scenario_fault_count : Cond.guard -> int
+(** Faults consumed by a scenario. *)
+
+val exists_in : t -> scenario:Cond.guard -> int -> bool
+(** Whether a vertex exists in (the worst case of) a scenario. *)
+
+val pp_summary : Format.formatter -> t -> unit
+val pp : Format.formatter -> t -> unit

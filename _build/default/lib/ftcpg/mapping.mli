@@ -1,0 +1,40 @@
+(** Mapping of processes — and of every replica introduced by the
+    fault-tolerance policy — to computation nodes (paper, Sec. 4 and 6,
+    the function M). *)
+
+type t
+
+val make : (int * int list) list -> t
+(** [make [(pid, nodes); ...]]: [nodes] assigns a node to every copy of
+    process [pid] (copy 0 is the original). Every process must appear
+    exactly once.
+    @raise Invalid_argument on duplicates or empty copy lists. *)
+
+val of_array : int array array -> t
+(** [of_array a]: [a.(pid).(copy)] is the node id. The array is copied. *)
+
+val node_of : t -> pid:int -> copy:int -> int
+(** @raise Invalid_argument on out-of-range ids. *)
+
+val copies : t -> pid:int -> int list
+(** Node of each copy of the process, in copy order. *)
+
+val copy_count : t -> pid:int -> int
+val proc_count : t -> int
+
+val remap : t -> pid:int -> copy:int -> nid:int -> t
+(** Functional update. *)
+
+val validate :
+  t -> wcet:Ftes_arch.Wcet.t -> policies:Ftes_app.Policy.t array -> unit
+(** Checks that every process has exactly [replica_count policies.(pid)]
+    mapped copies, each on a node allowed by the WCET table. Replicas
+    may share a node: a transient fault hits one execution, not a node,
+    so [q + 1] copies tolerate [q] faults wherever they run — distinct
+    nodes are a performance choice (parallel space redundancy), made by
+    the optimizer, not a correctness requirement (cf. the paper's remark
+    that single-checkpoint rollback is primary-backup on one node).
+    @raise Invalid_argument on any violation. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+module App = Ftes_app.App
+module Graph = Ftes_app.Graph
+module Policy = Ftes_app.Policy
+module Wcet = Ftes_arch.Wcet
+module Arch = Ftes_arch.Arch
+
+type t = {
+  app : App.t;
+  arch : Arch.t;
+  wcet : Wcet.t;
+  k : int;
+  policies : Policy.t array;
+  mapping : Mapping.t;
+}
+
+let make ~app ~arch ~wcet ~k ~policies ~mapping =
+  if k < 0 then invalid_arg "Problem.make: k < 0";
+  let n = Graph.process_count app.App.graph in
+  if Wcet.proc_count wcet <> n then
+    invalid_arg "Problem.make: WCET table size mismatch";
+  if Wcet.node_count wcet <> Arch.node_count arch then
+    invalid_arg "Problem.make: WCET node count mismatch";
+  if Array.length policies <> n then
+    invalid_arg "Problem.make: policy count mismatch";
+  Array.iteri
+    (fun pid p ->
+      if not (Policy.tolerates p ~k) then
+        invalid_arg
+          (Printf.sprintf
+             "Problem.make: policy of process %d tolerates only %d < %d faults"
+             pid (Policy.tolerated_faults p) k))
+    policies;
+  Mapping.validate mapping ~wcet ~policies;
+  { app; arch; wcet; k; policies; mapping }
+
+let with_policies t policies mapping =
+  make ~app:t.app ~arch:t.arch ~wcet:t.wcet ~k:t.k ~policies ~mapping
+
+let with_k t k =
+  make ~app:t.app ~arch:t.arch ~wcet:t.wcet ~k ~policies:t.policies
+    ~mapping:t.mapping
+
+let default_policies ~app ~k =
+  Array.init
+    (Graph.process_count app.App.graph)
+    (fun _ -> Policy.re_execution ~recoveries:k)
+
+let fastest_mapping ~app ~wcet ~policies =
+  let n = Graph.process_count app.App.graph in
+  let assign =
+    Array.init n (fun pid ->
+        let copies = Policy.replica_count policies.(pid) in
+        let ranked =
+          List.sort
+            (fun (_, c1) (_, c2) -> compare c1 c2)
+            (List.filter_map
+               (fun nid ->
+                 Option.map (fun c -> (nid, c)) (Wcet.get wcet ~pid ~nid))
+               (List.init (Wcet.node_count wcet) (fun i -> i)))
+        in
+        if ranked = [] then
+          invalid_arg
+            (Printf.sprintf
+               "Problem.fastest_mapping: process %d has no allowed node" pid);
+        (* Copies spread over the fastest allowed nodes; when there are
+           more copies than allowed nodes they wrap around (replicas may
+           share a node — they serialize on its timeline). *)
+        let arr = Array.of_list (List.map fst ranked) in
+        Array.init copies (fun i -> arr.(i mod Array.length arr)))
+  in
+  Mapping.of_array assign
+
+let copy_wcet t ~pid ~copy =
+  let nid = Mapping.node_of t.mapping ~pid ~copy in
+  Wcet.get_exn t.wcet ~pid ~nid
+
+let copy_plan t ~pid ~copy = t.policies.(pid).Policy.copies.(copy)
+
+let graph t = t.app.App.graph
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>problem: k=%d@,%a@,%a@,%a@]" t.k App.pp t.app
+    Arch.pp t.arch Mapping.pp t.mapping

@@ -1,0 +1,56 @@
+(** A complete synthesis instance: the application, the platform, the
+    fault hypothesis [k], and a candidate system configuration — the
+    fault-tolerance policy assignment F = 〈P, Q, R, X〉 and the mapping M
+    (paper, Sec. 6). Scheduling such an instance yields the remaining
+    part of the configuration ψ, the schedule tables S. *)
+
+type t = private {
+  app : Ftes_app.App.t;
+  arch : Ftes_arch.Arch.t;
+  wcet : Ftes_arch.Wcet.t;
+  k : int;  (** Maximum number of transient faults per execution cycle,
+                anywhere in the system (can exceed the node count). *)
+  policies : Ftes_app.Policy.t array;  (** Indexed by process id. *)
+  mapping : Mapping.t;
+}
+
+val make :
+  app:Ftes_app.App.t ->
+  arch:Ftes_arch.Arch.t ->
+  wcet:Ftes_arch.Wcet.t ->
+  k:int ->
+  policies:Ftes_app.Policy.t array ->
+  mapping:Mapping.t ->
+  t
+(** Validates dimensions, [k >= 0], that every policy tolerates [k]
+    faults on its own (all [k] faults may hit a single process), and the
+    mapping against the WCET table and replica counts.
+    @raise Invalid_argument on any violation. *)
+
+val with_policies : t -> Ftes_app.Policy.t array -> Mapping.t -> t
+(** Same instance with a new configuration (revalidated). *)
+
+val with_k : t -> int -> t
+
+val default_policies : app:Ftes_app.App.t -> k:int -> Ftes_app.Policy.t array
+(** All-re-execution assignment: every process gets
+    [Policy.re_execution ~recoveries:k] — the natural starting point of
+    the optimization heuristics. *)
+
+val fastest_mapping :
+  app:Ftes_app.App.t ->
+  wcet:Ftes_arch.Wcet.t ->
+  policies:Ftes_app.Policy.t array ->
+  Mapping.t
+(** Each copy on the fastest allowed node; replicas of the same process
+    spread over the fastest allowed nodes (wrapping around when there
+    are more copies than allowed nodes).
+    @raise Invalid_argument when a process has no allowed node. *)
+
+val copy_wcet : t -> pid:int -> copy:int -> float
+(** WCET of a copy on its mapped node. *)
+
+val copy_plan : t -> pid:int -> copy:int -> Ftes_app.Policy.copy_plan
+
+val graph : t -> Ftes_app.Graph.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/optim/checkpoint.ml: Array Ftes_app Ftes_ftcpg Ftes_sched

@@ -1,0 +1,1 @@
+lib/optim/checkpoint.mli: Ftes_app Ftes_ftcpg

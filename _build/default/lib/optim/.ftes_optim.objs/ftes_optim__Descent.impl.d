@@ -1,0 +1,1 @@
+lib/optim/descent.ml: Ftes_app Ftes_arch Ftes_ftcpg Ftes_sched List Tabu

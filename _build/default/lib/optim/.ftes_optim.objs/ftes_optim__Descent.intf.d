@@ -1,0 +1,1 @@
+lib/optim/descent.mli: Ftes_ftcpg Tabu

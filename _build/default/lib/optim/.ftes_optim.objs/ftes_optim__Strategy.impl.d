@@ -1,0 +1,1 @@
+lib/optim/strategy.ml: Array Checkpoint Descent Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_sched List Tabu

@@ -1,0 +1,1 @@
+lib/optim/strategy.mli: Format Ftes_app Ftes_arch Ftes_ftcpg Tabu

@@ -1,0 +1,1 @@
+lib/optim/tabu.ml: Array Ftes_app Ftes_arch Ftes_ftcpg Ftes_sched Ftes_util Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/optim/tabu.mli: Ftes_arch Ftes_ftcpg

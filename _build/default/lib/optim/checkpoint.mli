@@ -1,0 +1,42 @@
+(** Optimization of the number of checkpoints (paper, Sec. 6 and Fig. 8).
+
+    Two levels:
+
+    - {!local_optimum}: the closed-form per-process optimum in the style
+      of Punnekkat et al. [27] — minimize the process's own worst-case
+      length [W(n, k)] in isolation, as a function of the checkpointing
+      overhead. This is the paper's baseline.
+
+    - {!global_optimize}: the system-level optimization of [15] — adjust
+      checkpoint counts driven by the {e global} schedule length
+      (checkpointing overhead of every process lengthens the root
+      schedule, while recovery slack is shared, so only the
+      worst-recovery process constrains the slack term). *)
+
+val worst_case : c:float -> Ftes_app.Overheads.t -> k:int -> checkpoints:int -> float
+(** [W(n, k)] — the quantity both optimizations reason about
+    (re-exported from [Ftes_app.Fttime] with the recovery budget [k]). *)
+
+val local_optimum :
+  ?max_checkpoints:int -> c:float -> Ftes_app.Overheads.t -> k:int -> int
+(** Closed form: the real minimizer of [W(n, k)] is
+    [n* = sqrt (k c / (alpha + chi))]; the integer optimum is the better
+    of its floor and ceiling (clamped to [1, max_checkpoints], default
+    100). With [k = 0] or zero overheads the result degenerates to 1 or
+    the cap, respectively. *)
+
+val assign_local :
+  ?max_checkpoints:int -> Ftes_ftcpg.Problem.t -> Ftes_ftcpg.Problem.t
+(** Set every copy's checkpoint count to its local optimum (recovery
+    budgets and mapping unchanged). *)
+
+val global_optimize :
+  ?max_checkpoints:int ->
+  ?max_passes:int ->
+  Ftes_ftcpg.Problem.t ->
+  Ftes_ftcpg.Problem.t
+(** Steepest-descent over single-copy checkpoint increments/decrements,
+    objective = estimated worst-case schedule length
+    ([Ftes_sched.Slack.length]); stops at a local minimum or after
+    [max_passes] (default 32) improvement passes. Start from any
+    assignment (typically {!assign_local}). *)

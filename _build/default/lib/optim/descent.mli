@@ -1,0 +1,29 @@
+(** Deterministic steepest-descent sweeps, complementing the randomized
+    tabu search: exhaustively evaluate a move family, apply the best
+    improving move, repeat until a local minimum.
+
+    Used by the MXR strategy to chain policy-assignment improvements
+    (the slack term is a maximum over processes, so gains come from
+    repeatedly fixing the current worst process — a structure steepest
+    descent exploits directly) and by tests as a slow-but-predictable
+    reference optimizer. *)
+
+val policy_sweep :
+  ?kinds:Tabu.policy_kind list ->
+  ?max_rounds:int ->
+  ?width:int ->
+  Ftes_ftcpg.Problem.t ->
+  Ftes_ftcpg.Problem.t
+(** Each round evaluates switching each of the [width] (default 6)
+    currently most slack-critical processes to every kind in [kinds]
+    (default: all three) and applies the best strictly improving switch;
+    stops at a local minimum or after [max_rounds] (default the process
+    count). The restriction to critical processes is sound for the
+    estimator: its slack term is a maximum over processes. Objective:
+    [Ftes_sched.Slack.length]. *)
+
+val remap_sweep :
+  ?max_rounds:int -> Ftes_ftcpg.Problem.t -> Ftes_ftcpg.Problem.t
+(** Each round evaluates remapping every copy of every process to every
+    allowed node and applies the best strictly improving remap. O(n^2)
+    per round — intended for small instances and as a test oracle. *)

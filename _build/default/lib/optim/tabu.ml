@@ -1,0 +1,176 @@
+module Problem = Ftes_ftcpg.Problem
+module Mapping = Ftes_ftcpg.Mapping
+module Policy = Ftes_app.Policy
+module Graph = Ftes_app.Graph
+module Wcet = Ftes_arch.Wcet
+module Rng = Ftes_util.Rng
+
+type policy_kind = Reexec | Repl | Combined
+
+type options = {
+  seed : int;
+  iterations : int;
+  sample : int;
+  tenure : int;
+  stall_limit : int;
+  remap_moves : bool;
+  policy_moves : bool;
+  policy_kinds : policy_kind list;
+  ft_objective : bool;
+}
+
+let default_options =
+  {
+    seed = 42;
+    iterations = 120;
+    sample = 16;
+    tenure = 8;
+    stall_limit = 40;
+    remap_moves = true;
+    policy_moves = true;
+    policy_kinds = [ Reexec; Repl; Combined ];
+    ft_objective = true;
+  }
+
+let kind_of_policy p =
+  match Policy.kind p with
+  | Policy.Checkpointing -> Reexec
+  | Policy.Replication -> Repl
+  | Policy.Replication_and_checkpointing -> Combined
+
+let make_policy ~k = function
+  | Reexec -> Policy.re_execution ~recoveries:k
+  | Repl -> Policy.replication ~k
+  | Combined ->
+      if k >= 2 then
+        Policy.combined ~replicas:1
+          ~recoveries_per_copy:(List.init 2 (fun i -> if i = 0 then k - 1 else 0))
+      else Policy.replication ~k
+
+(* Spread the copies of one process over its fastest allowed nodes,
+   keeping the current node of copy 0 (the original). *)
+let spread_copies ~wcet ~pid ~copies ~keep_node =
+  let ranked =
+    List.sort
+      (fun (_, c1) (_, c2) -> compare c1 c2)
+      (List.filter_map
+         (fun nid -> Option.map (fun c -> (nid, c)) (Wcet.get wcet ~pid ~nid))
+         (List.init (Wcet.node_count wcet) (fun i -> i)))
+  in
+  let others =
+    List.map fst (List.filter (fun (nid, _) -> nid <> keep_node) ranked)
+  in
+  let pool = Array.of_list (others @ [ keep_node ]) in
+  Array.init copies (fun i ->
+      if i = 0 then keep_node else pool.((i - 1) mod Array.length pool))
+
+let reassign_policy ~k ~wcet problem ~pid kind =
+  let policy = make_policy ~k kind in
+  let policies = Array.copy problem.Problem.policies in
+  policies.(pid) <- policy;
+  let keep_node = Mapping.node_of problem.Problem.mapping ~pid ~copy:0 in
+  let copies = Policy.replica_count policy in
+  let row = spread_copies ~wcet ~pid ~copies ~keep_node in
+  let assign =
+    Array.init (Graph.process_count (Problem.graph problem)) (fun p ->
+        if p = pid then row
+        else
+          Array.of_list (Mapping.copies problem.Problem.mapping ~pid:p))
+  in
+  Problem.with_policies problem policies (Mapping.of_array assign)
+
+type move =
+  | Remap of { pid : int; copy : int; nid : int }
+  | Set_policy of { pid : int; kind : policy_kind }
+
+let apply_move ~k ~wcet problem = function
+  | Remap { pid; copy; nid } ->
+      let mapping = Mapping.remap problem.Problem.mapping ~pid ~copy ~nid in
+      Problem.with_policies problem problem.Problem.policies mapping
+  | Set_policy { pid; kind } -> reassign_policy ~k ~wcet problem ~pid kind
+
+let moved_pid = function
+  | Remap { pid; _ } -> pid
+  | Set_policy { pid; _ } -> pid
+
+let random_move rng opts problem =
+  let g = Problem.graph problem in
+  let wcet = problem.Problem.wcet in
+  let nprocs = Graph.process_count g in
+  let pid = Rng.int rng nprocs in
+  let want_policy =
+    opts.policy_moves && ((not opts.remap_moves) || Rng.chance rng 0.4)
+  in
+  if want_policy then
+    let current = kind_of_policy problem.Problem.policies.(pid) in
+    let kinds = List.filter (fun kd -> kd <> current) opts.policy_kinds in
+    match kinds with
+    | [] -> None
+    | _ -> Some (Set_policy { pid; kind = Rng.pick_list rng kinds })
+  else
+    let copies = Mapping.copy_count problem.Problem.mapping ~pid in
+    let copy = Rng.int rng copies in
+    let current = Mapping.node_of problem.Problem.mapping ~pid ~copy in
+    let allowed =
+      List.filter (fun nid -> nid <> current) (Wcet.allowed_nodes wcet ~pid)
+    in
+    match allowed with
+    | [] -> None
+    | _ -> Some (Remap { pid; copy; nid = Rng.pick_list rng allowed })
+
+let optimize opts problem =
+  let rng = Rng.create opts.seed in
+  let k = problem.Problem.k in
+  let wcet = problem.Problem.wcet in
+  let objective p = Ftes_sched.Slack.length ~ft:opts.ft_objective p in
+  let tabu_until : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let is_tabu iter pid =
+    match Hashtbl.find_opt tabu_until pid with
+    | Some until -> iter < until
+    | None -> false
+  in
+  let best = ref problem in
+  let best_len = ref (objective problem) in
+  let current = ref problem in
+  let current_len = ref !best_len in
+  let stall = ref 0 in
+  (try
+     for iter = 1 to opts.iterations do
+       if !stall > opts.stall_limit then raise Exit;
+       (* Sample candidate moves, keep the best admissible one. *)
+       let chosen = ref None in
+       for _ = 1 to opts.sample do
+         match random_move rng opts !current with
+         | None -> ()
+         | Some mv -> (
+             match apply_move ~k ~wcet !current mv with
+             | exception Invalid_argument _ -> ()
+             | cand ->
+                 let len = objective cand in
+                 let admissible =
+                   (not (is_tabu iter (moved_pid mv)))
+                   || len < !best_len -. 1e-9
+                 in
+                 if admissible then
+                   let better =
+                     match !chosen with
+                     | None -> true
+                     | Some (_, _, l) -> len < l
+                   in
+                   if better then chosen := Some (mv, cand, len))
+       done;
+       match !chosen with
+       | None -> incr stall
+       | Some (mv, cand, len) ->
+           current := cand;
+           current_len := len;
+           Hashtbl.replace tabu_until (moved_pid mv) (iter + opts.tenure);
+           if len < !best_len -. 1e-9 then begin
+             best := cand;
+             best_len := len;
+             stall := 0
+           end
+           else incr stall
+     done
+   with Exit -> ());
+  (!best, !best_len)

@@ -1,0 +1,49 @@
+(** Tabu-search design optimization: process/replica mapping and
+    fault-tolerance policy assignment (paper, Sec. 6; algorithms of
+    [13] and [16]).
+
+    The search walks the configuration space with two move families —
+    remapping one copy of a process to another allowed node, and
+    switching a process's fault-tolerance policy (re-execution /
+    checkpointing, active replication, or the combined policy) — driven
+    by the estimated worst-case schedule length
+    ([Ftes_sched.Slack.length]). Recently modified processes are tabu
+    for a fixed tenure; a tabu move is still taken when it improves on
+    the best solution found (aspiration). *)
+
+type policy_kind = Reexec | Repl | Combined
+
+type options = {
+  seed : int;
+  iterations : int;  (** Total search iterations (default 120). *)
+  sample : int;  (** Candidate moves evaluated per iteration
+                     (default 16). *)
+  tenure : int;  (** Iterations a modified process stays tabu
+                     (default 8). *)
+  stall_limit : int;  (** Stop after this many iterations without
+                          improving the best solution (default 40). *)
+  remap_moves : bool;
+  policy_moves : bool;
+  policy_kinds : policy_kind list;  (** Kinds the policy moves may
+                                        choose from. *)
+  ft_objective : bool;  (** Evaluate schedule length with fault
+                            tolerance (set false for the SFX baseline's
+                            mapping phase). *)
+}
+
+val default_options : options
+
+val reassign_policy :
+  k:int ->
+  wcet:Ftes_arch.Wcet.t ->
+  Ftes_ftcpg.Problem.t ->
+  pid:int ->
+  policy_kind ->
+  Ftes_ftcpg.Problem.t
+(** Switch one process's policy, rebuilding the mapping of its copies
+    (copy 0 keeps its node; further replicas spread over the fastest
+    allowed nodes). *)
+
+val optimize : options -> Ftes_ftcpg.Problem.t -> Ftes_ftcpg.Problem.t * float
+(** Returns the best configuration found and its estimated schedule
+    length (under the chosen objective). *)

@@ -1,0 +1,1 @@
+lib/sched/busalloc.ml: Array Ftes_arch Timeline

@@ -1,0 +1,1 @@
+lib/sched/busalloc.mli: Ftes_arch

@@ -1,0 +1,1 @@
+lib/sched/conditional.ml: Array Busalloc Float Ftes_app Ftes_arch Ftes_ftcpg Hashtbl Int List Map Option Printf Table Timeline

@@ -1,0 +1,1 @@
+lib/sched/conditional.mli: Ftes_ftcpg Table

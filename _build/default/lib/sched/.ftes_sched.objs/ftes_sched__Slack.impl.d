@@ -1,0 +1,1 @@
+lib/sched/slack.ml: Array Busalloc Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_util Hashtbl List Timeline

@@ -1,0 +1,1 @@
+lib/sched/slack.mli: Format Ftes_ftcpg

@@ -1,0 +1,1 @@
+lib/sched/table.ml: Array Float Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_util Hashtbl List Printf String

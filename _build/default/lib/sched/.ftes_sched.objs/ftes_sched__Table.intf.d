@@ -1,0 +1,1 @@
+lib/sched/table.mli: Format Ftes_ftcpg

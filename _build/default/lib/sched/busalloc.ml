@@ -1,0 +1,46 @@
+module Bus = Ftes_arch.Bus
+
+type t = { bus : Bus.t; lanes : Timeline.t array }
+
+let create bus ~nodes =
+  let lane_count = if Bus.is_tdma bus then max nodes 1 else 1 in
+  { bus; lanes = Array.make lane_count Timeline.empty }
+
+let lane_of t src = if Bus.is_tdma t.bus then src else 0
+
+(* Single walk over the lane's sorted reservations: each step either
+   fits the aligned window before the next reservation, skips a
+   reservation the window already cleared, or jumps past a conflicting
+   one — O(lane length) per placement even on a saturated bus. *)
+let find_window t ~src ~size ~earliest =
+  let lane = t.lanes.(lane_of t src) in
+  let eps = 1e-9 in
+  let rec go t0 = function
+    | [] -> Bus.next_window t.bus ~node:src ~size ~earliest:t0
+    | (si, fi) :: rest ->
+        let s, f = Bus.next_window t.bus ~node:src ~size ~earliest:t0 in
+        if f <= si +. eps then (s, f)
+        else if s >= fi -. eps then go t0 rest
+        else go (max t0 fi) rest
+  in
+  go earliest (Timeline.intervals lane)
+
+let probe t ~src ~size ~earliest =
+  if size <= 0. then (earliest, earliest)
+  else find_window t ~src ~size ~earliest
+
+let place t ~src ~size ~earliest =
+  if size <= 0. then (t, (earliest, earliest))
+  else begin
+    let s, f = find_window t ~src ~size ~earliest in
+    let li = lane_of t src in
+    let lanes = Array.copy t.lanes in
+    lanes.(li) <- Timeline.reserve lanes.(li) ~start:s ~finish:f;
+    ({ t with lanes }, (s, f))
+  end
+
+let reserve_window t ~src ~start ~finish =
+  let li = lane_of t src in
+  let lanes = Array.copy t.lanes in
+  lanes.(li) <- Timeline.reserve lanes.(li) ~start ~finish;
+  { t with lanes }

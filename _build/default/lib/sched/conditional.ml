@@ -1,0 +1,368 @@
+module Cond = Ftes_ftcpg.Cond
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module Problem = Ftes_ftcpg.Problem
+module Graph = Ftes_app.Graph
+module Arch = Ftes_arch.Arch
+module Bus = Ftes_arch.Bus
+module Imap = Map.Make (Int)
+
+type params = { cond_size : float; max_tracks : int; max_fix_iters : int }
+
+let default_params = { cond_size = 1.; max_tracks = 20_000; max_fix_iters = 64 }
+
+exception Blocked of string
+exception Too_many_tracks of int
+exception Fixpoint_diverged of int
+
+let eps = 1e-6
+
+type state = {
+  guard : Cond.guard;
+  faults : int;
+  nodes : Timeline.t array;
+  bus : Busalloc.t;
+  finish : float Imap.t;  (* scheduled vertices -> finish time *)
+  reveal : float Imap.t;  (* condition -> revelation time *)
+  bcast : float Imap.t;  (* condition -> broadcast arrival *)
+  pending : (float * int) list;  (* unrevealed conditions, by time *)
+  entries : Table.entry list;  (* reversed *)
+  makespan : float;
+}
+
+(* Partial-critical-path priority: longest downstream chain. *)
+let priorities ftcpg =
+  let n = Ftcpg.vertex_count ftcpg in
+  let pcp = Array.make n 0. in
+  for vid = n - 1 downto 0 do
+    let v = Ftcpg.vertex ftcpg vid in
+    let down =
+      List.fold_left (fun acc s -> max acc pcp.(s)) 0. v.Ftcpg.succs
+    in
+    pcp.(vid) <- v.Ftcpg.duration +. down
+  done;
+  pcp
+
+let schedule ?(params = default_params) ftcpg =
+  let problem = Ftcpg.problem ftcpg in
+  let k = problem.Problem.k in
+  let g = Problem.graph problem in
+  let arch = problem.Problem.arch in
+  let bus_spec = Arch.bus arch in
+  let nnodes = Arch.node_count arch in
+  let nverts = Ftcpg.vertex_count ftcpg in
+  let pcp = priorities ftcpg in
+  let vert = Ftcpg.vertex ftcpg in
+  (* Frozen start times being fixed across iterations. *)
+  let fixed : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  (* New or raised start demands observed during one exploration. *)
+  let demands : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let demand vid t =
+    let cur = try Hashtbl.find demands vid with Not_found -> neg_infinity in
+    if t > cur then Hashtbl.replace demands vid t
+  in
+  let leaf_count = ref 0 in
+
+  let literal_available st (l : Cond.literal) ~decision_node =
+    let reveal =
+      match Imap.find_opt l.Cond.cond st.reveal with
+      | Some t -> t
+      | None -> infinity (* not yet revealed: cannot commit *)
+    in
+    match decision_node with
+    | None -> reveal
+    | Some n -> (
+        match (vert l.Cond.cond).Ftcpg.exec_node with
+        | Some pn when pn = n -> reveal
+        | Some _ | None -> (
+            match Imap.find_opt l.Cond.cond st.bcast with
+            | Some t -> t
+            | None -> infinity))
+  in
+
+  let decision_node (v : Ftcpg.vertex) =
+    match v.Ftcpg.kind with
+    | Ftcpg.Proc_copy _ -> v.Ftcpg.exec_node
+    | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ ->
+        if v.Ftcpg.on_bus then v.Ftcpg.src_node else None
+    | Ftcpg.Sync_proc _ -> None
+  in
+
+  let ready st (v : Ftcpg.vertex) =
+    (not (Imap.mem v.Ftcpg.vid st.finish))
+    && Cond.implies st.guard v.Ftcpg.guard
+    && List.for_all
+         (fun p ->
+           Imap.mem p st.finish
+           || not (Cond.compatible (vert p).Ftcpg.guard st.guard))
+         v.Ftcpg.preds
+  in
+
+  let base_time st (v : Ftcpg.vertex) =
+    let arrivals =
+      List.fold_left
+        (fun acc p ->
+          match Imap.find_opt p st.finish with
+          | Some f -> max acc f
+          | None -> acc)
+        0. v.Ftcpg.preds
+    in
+    let release =
+      match v.Ftcpg.kind with
+      | Ftcpg.Proc_copy { pid; _ } -> (Graph.process g pid).Graph.release
+      | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ -> 0.
+    in
+    let dn = decision_node v in
+    let knowledge =
+      List.fold_left
+        (fun acc l -> max acc (literal_available st l ~decision_node:dn))
+        0.
+        (Cond.literals v.Ftcpg.guard)
+    in
+    max arrivals (max release knowledge)
+  in
+
+  (* Natural (ASAP) placement of a vertex from its base time. *)
+  let natural_place st (v : Ftcpg.vertex) base =
+    match v.Ftcpg.kind with
+    | Ftcpg.Proc_copy _ ->
+        let n = Option.get v.Ftcpg.exec_node in
+        let s =
+          Timeline.earliest_gap st.nodes.(n) ~from_:base
+            ~duration:v.Ftcpg.duration
+        in
+        (s, s +. v.Ftcpg.duration, Table.Node n)
+    | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
+        let src = Option.get v.Ftcpg.src_node in
+        let s, f =
+          Busalloc.probe st.bus ~src ~size:v.Ftcpg.msg_size ~earliest:base
+        in
+        (s, f, Table.Bus)
+    | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ ->
+        (base, base, Table.Local)
+  in
+
+  (* Placement respecting a fixed (frozen) start when one exists.
+     Returns the placement plus whether the pre-reserved window is
+     already accounted for in the timelines. *)
+  let place st (v : Ftcpg.vertex) =
+    let base = base_time st v in
+    match Hashtbl.find_opt fixed v.Ftcpg.vid with
+    | Some f when v.Ftcpg.frozen ->
+        if base <= f +. eps then
+          let resource =
+            match v.Ftcpg.kind with
+            | Ftcpg.Proc_copy _ -> Table.Node (Option.get v.Ftcpg.exec_node)
+            | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
+                Table.Bus
+            | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ ->
+                Table.Local
+          in
+          (f, f +. v.Ftcpg.duration, resource, true)
+        else begin
+          (* The frozen time is too early in this track: demand more. *)
+          let s, fin, r = natural_place st v base in
+          demand v.Ftcpg.vid s;
+          (s, fin, r, false)
+        end
+    | Some _ | None ->
+        let s, fin, r = natural_place st v base in
+        if v.Ftcpg.frozen then demand v.Ftcpg.vid s;
+        (s, fin, r, false)
+  in
+
+  let commit st (v : Ftcpg.vertex) (start, fin, resource, prereserved) =
+    let nodes = Array.copy st.nodes in
+    let bus = ref st.bus in
+    if not prereserved then begin
+      match resource with
+      | Table.Node n ->
+          nodes.(n) <- Timeline.reserve nodes.(n) ~start ~finish:fin
+      | Table.Bus ->
+          let src = Option.get v.Ftcpg.src_node in
+          bus := Busalloc.reserve_window st.bus ~src ~start ~finish:fin
+      | Table.Local -> ()
+    end;
+    let entry =
+      { Table.item = Table.Exec v.Ftcpg.vid; guard = st.guard; start;
+        finish = fin; resource }
+    in
+    let pending =
+      if v.Ftcpg.conditional then
+        List.sort compare ((fin, v.Ftcpg.vid) :: st.pending)
+      else st.pending
+    in
+    let reveal =
+      if v.Ftcpg.conditional then Imap.add v.Ftcpg.vid fin st.reveal
+      else st.reveal
+    in
+    {
+      st with
+      nodes;
+      bus = !bus;
+      finish = Imap.add v.Ftcpg.vid fin st.finish;
+      reveal;
+      pending;
+      entries = entry :: st.entries;
+      makespan = max st.makespan fin;
+    }
+  in
+
+  let schedule_bcast st (tr, vc) =
+    if nnodes <= 1 then { st with bcast = Imap.add vc tr st.bcast }
+    else
+      let src =
+        match (vert vc).Ftcpg.exec_node with
+        | Some n -> n
+        | None -> 0
+      in
+      let bus, (s, f) =
+        Busalloc.place st.bus ~src ~size:params.cond_size ~earliest:tr
+      in
+      let entry =
+        { Table.item = Table.Bcast vc; guard = st.guard; start = s;
+          finish = f; resource = Table.Bus }
+      in
+      {
+        st with
+        bus;
+        bcast = Imap.add vc f st.bcast;
+        entries = entry :: st.entries;
+      }
+  in
+
+  let rec run st =
+    let next_reveal =
+      match st.pending with [] -> infinity | (t, _) :: _ -> t
+    in
+    (* Candidates placeable before the next revelation. *)
+    let best = ref None in
+    for vid = 0 to nverts - 1 do
+      let v = vert vid in
+      if ready st v then begin
+        let ((s, _, _, _) as placement) = place st v in
+        if s < next_reveal -. eps then
+          let better =
+            match !best with
+            | None -> true
+            | Some (s', v', _) ->
+                s < s' -. eps
+                || (Float.abs (s -. s') <= eps
+                   && pcp.(v.Ftcpg.vid) > pcp.(v'.Ftcpg.vid))
+          in
+          if better then best := Some (s, v, placement)
+      end
+    done;
+    match !best with
+    | Some (_, v, placement) -> run (commit st v placement)
+    | None -> (
+        match st.pending with
+        | (tr, vc) :: rest ->
+            let st = schedule_bcast st (tr, vc) in
+            let st = { st with pending = rest } in
+            let branch_nf =
+              {
+                st with
+                guard = Cond.add_exn st.guard { Cond.cond = vc; fault = false };
+              }
+            in
+            let results_f =
+              if st.faults < k then
+                run
+                  {
+                    st with
+                    guard = Cond.add_exn st.guard { Cond.cond = vc; fault = true };
+                    faults = st.faults + 1;
+                  }
+              else []
+            in
+            results_f @ run branch_nf
+        | [] ->
+            (* Leaf: every vertex reachable in this scenario must be done. *)
+            for vid = 0 to nverts - 1 do
+              let v = vert vid in
+              if
+                Cond.implies st.guard v.Ftcpg.guard
+                && not (Imap.mem vid st.finish)
+              then
+                raise
+                  (Blocked
+                     (Printf.sprintf "vertex %s never activated in scenario %s"
+                        v.Ftcpg.name
+                        (Cond.to_string ~name:(Ftcpg.cond_name ftcpg) st.guard)))
+            done;
+            incr leaf_count;
+            if !leaf_count > params.max_tracks then
+              raise (Too_many_tracks params.max_tracks);
+            [ (st.entries, { Table.scenario = st.guard; makespan = st.makespan }) ])
+  in
+
+  let initial_state () =
+    let nodes = Array.make nnodes Timeline.empty in
+    let bus = ref (Busalloc.create bus_spec ~nodes:nnodes) in
+    (* Pre-reserve the windows of frozen activations: transparency means
+       no other activation may use (or even observe) those windows.
+       Demands from independent tracks may collide; collisions bump the
+       later window forward (monotone, so the fixpoint still
+       terminates). *)
+    let fixed_sorted =
+      List.sort compare
+        (Hashtbl.fold (fun vid f acc -> (f, vid) :: acc) fixed [])
+    in
+    List.iter
+      (fun (f, vid) ->
+        let v = vert vid in
+        match v.Ftcpg.kind with
+        | Ftcpg.Proc_copy _ ->
+            let n = Option.get v.Ftcpg.exec_node in
+            let s =
+              Timeline.earliest_gap nodes.(n) ~from_:f
+                ~duration:v.Ftcpg.duration
+            in
+            if s > f +. eps then Hashtbl.replace fixed vid s;
+            nodes.(n) <-
+              Timeline.reserve nodes.(n) ~start:s ~finish:(s +. v.Ftcpg.duration)
+        | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
+            let src = match v.Ftcpg.src_node with Some n -> n | None -> 0 in
+            let s, fin =
+              Busalloc.probe !bus ~src ~size:v.Ftcpg.msg_size ~earliest:f
+            in
+            if s > f +. eps then Hashtbl.replace fixed vid s;
+            bus := Busalloc.reserve_window !bus ~src ~start:s ~finish:fin
+        | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ -> ())
+      fixed_sorted;
+    {
+      guard = Cond.true_;
+      faults = 0;
+      nodes;
+      bus = !bus;
+      finish = Imap.empty;
+      reveal = Imap.empty;
+      bcast = Imap.empty;
+      pending = [];
+      entries = [];
+      makespan = 0.;
+    }
+  in
+
+  let rec iterate iter =
+    if iter > params.max_fix_iters then raise (Fixpoint_diverged iter);
+    Hashtbl.reset demands;
+    leaf_count := 0;
+    let results = run (initial_state ()) in
+    let changed = ref false in
+    Hashtbl.iter
+      (fun vid t ->
+        let cur = Hashtbl.find_opt fixed vid in
+        match cur with
+        | Some f when t <= f +. eps -> ()
+        | Some _ | None ->
+            changed := true;
+            Hashtbl.replace fixed vid t)
+      demands;
+    if !changed then iterate (iter + 1)
+    else
+      let entries = List.concat_map (fun (es, _) -> List.rev es) results in
+      let tracks = List.map snd results in
+      Table.make ~ftcpg ~entries ~tracks
+  in
+  iterate 1

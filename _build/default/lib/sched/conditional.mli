@@ -1,0 +1,43 @@
+(** Conditional list scheduling of an FT-CPG into schedule tables
+    (paper, Sec. 5.2).
+
+    The scheduler explores the binary tree of condition outcomes in
+    revelation order. A {e track} carries a guard plus the state of
+    every resource; items are placed greedily (earliest feasible start,
+    ties by partial-critical-path priority) as long as their start
+    precedes the next condition revelation — later decisions fork with
+    the condition and may differ per branch, which is exactly the
+    schedule-table semantics: an activation committed before a
+    revelation is shared by both outcomes.
+
+    Distributed-knowledge constraints: an activation whose guard tests a
+    condition produced on another node waits for the condition
+    broadcast, which is itself scheduled on the bus as soon as the
+    condition is produced (paper: "broadcast as soon as possible").
+
+    Frozen vertices are given a single, guard-independent start time by
+    a fixpoint: each iteration raises a frozen vertex's start to the
+    worst observed over all tracks, pre-reserving the corresponding
+    resource windows so that no other activation may observe the
+    difference (transparency). *)
+
+type params = {
+  cond_size : float;
+      (** Size of a condition broadcast message (default 1.). *)
+  max_tracks : int;
+      (** Abort when the scenario tree exceeds this many leaves
+          (default 20_000). *)
+  max_fix_iters : int;
+      (** Fixpoint iteration cap for frozen start times (default 64). *)
+}
+
+val default_params : params
+
+exception Blocked of string
+(** A vertex could never be activated in some scenario (dependency
+    deadlock) — indicates an inconsistent FT-CPG. *)
+
+exception Too_many_tracks of int
+exception Fixpoint_diverged of int
+
+val schedule : ?params:params -> Ftes_ftcpg.Ftcpg.t -> Table.t

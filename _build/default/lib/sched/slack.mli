@@ -1,0 +1,68 @@
+(** Root-schedule generation with recovery slack — the scalable
+    schedule-length estimator used inside the design-optimization loops
+    (mapping / policy assignment / checkpoint optimization), where full
+    conditional scheduling is exponentially expensive (paper, Sec. 6).
+
+    The estimator list-schedules the fault-free {e root schedule} of all
+    process copies (replicas run unconditionally — active replication)
+    and all cross-node transmissions on the bus, then accounts for
+    faults with a shared-slack bound: at most [k] transient faults occur
+    per cycle, and each fault delays the affected chain by one recovery
+    of the faulted process, so the total worst-case elongation is
+    bounded by [max_i k-bounded-recovery-slack(i)] — slack is shared
+    ("max", not "sum"), achieved when all [k] faults hit the process
+    with the costliest recoveries.
+
+    Transparency is respected conservatively: a frozen message departs
+    only after its producer's worst-case completion, and a frozen
+    process starts no earlier than the worst-case arrival of its
+    inputs. *)
+
+type placement = {
+  pid : int;
+  copy : int;
+  node : int;
+  start : float;
+  finish : float;  (** Fault-free completion. *)
+  worst_finish : float;  (** Completion if all remaining faults hit this
+                             copy. *)
+}
+
+type msg_placement = {
+  mid : int;
+  copy : int;  (** Producer copy. *)
+  start : float;
+  finish : float;
+  on_bus : bool;
+}
+
+type result = {
+  root_makespan : float;  (** Fault-free schedule length. *)
+  slack_term : float;  (** Shared recovery-slack bound. *)
+  length : float;  (** Estimated worst-case fault-tolerant schedule
+                       length: [root_makespan + slack_term]. *)
+  placements : placement list;
+  msg_placements : msg_placement list;
+  penalties : float array;
+      (** Per-process laxity-discounted recovery penalty;
+          [slack_term = max over processes]. The optimizer targets the
+          processes at the top of this array. *)
+}
+
+val critical_processes : result -> (int * float) list
+(** Processes sorted by decreasing penalty (positive penalties only). *)
+
+val evaluate : ?ft:bool -> Ftes_ftcpg.Problem.t -> result
+(** [ft:false] evaluates the same instance {e ignoring fault tolerance}:
+    only the original copies, raw WCETs without overheads, no slack —
+    the baseline of the paper's fault-tolerance overhead (FTO) metric.
+    Default [ft:true]. *)
+
+val length : ?ft:bool -> Ftes_ftcpg.Problem.t -> float
+(** [length p = (evaluate p).length]. *)
+
+val fto : ft_length:float -> nft_length:float -> float
+(** Fault-tolerance overhead: percentage increase of the schedule length
+    due to fault tolerance (paper, Sec. 6). *)
+
+val pp_result : Format.formatter -> result -> unit

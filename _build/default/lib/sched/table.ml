@@ -1,0 +1,263 @@
+module Cond = Ftes_ftcpg.Cond
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module Problem = Ftes_ftcpg.Problem
+module Graph = Ftes_app.Graph
+module App = Ftes_app.App
+
+type resource = Node of int | Bus | Local
+
+type item = Exec of int | Bcast of int
+
+type entry = {
+  item : item;
+  guard : Cond.guard;
+  start : float;
+  finish : float;
+  resource : resource;
+}
+
+type track = { scenario : Cond.guard; makespan : float }
+
+type t = { ftcpg : Ftcpg.t; entries : entry list; tracks : track list }
+
+(* Two guards resolve when they differ in exactly one complementary
+   literal: the union of their scenario sets is exactly the common
+   rest. Anything weaker (e.g. plain intersection) would let an entry
+   leak into scenarios whose track committed a different time. *)
+let resolve g1 g2 =
+  let c = Cond.intersect g1 g2 in
+  if Cond.size g1 = Cond.size g2 && Cond.size c = Cond.size g1 - 1 then Some c
+  else None
+
+let dedup entries =
+  (* One entry per (item, start, resource, guard); same-slot entries
+     from sibling branches collapse by resolution until a fixpoint. *)
+  let groups = Hashtbl.create 64 in
+  let keys = ref [] in
+  List.iter
+    (fun e ->
+      let key = (e.item, e.resource, Float.round (e.start *. 1e6)) in
+      if not (Hashtbl.mem groups key) then keys := key :: !keys;
+      Hashtbl.replace groups key
+        (e :: (try Hashtbl.find groups key with Not_found -> [])))
+    entries;
+  let collapse es =
+    let guards =
+      ref (List.sort_uniq Cond.compare (List.map (fun e -> e.guard) es))
+    in
+    let find_resolvable gs =
+      let rec go = function
+        | [] -> None
+        | g :: rest -> (
+            match List.find_map (fun g' -> resolve g g') rest with
+            | Some merged -> Some (g, merged)
+            | None -> go rest)
+      in
+      go gs
+    in
+    let rec step () =
+      match find_resolvable !guards with
+      | Some (g, merged) ->
+          (* [merged] covers [g] and its resolution partner. *)
+          guards :=
+            List.sort_uniq Cond.compare
+              (merged
+              :: List.filter
+                   (fun g' ->
+                     not (Cond.equal g' g || Cond.implies g' merged))
+                   !guards);
+          step ()
+      | None ->
+          (* Drop guards subsumed by a strictly more general one. *)
+          let gs = !guards in
+          let kept =
+            List.filter
+              (fun g ->
+                not
+                  (List.exists
+                     (fun g' -> (not (Cond.equal g g')) && Cond.implies g g')
+                     gs))
+              gs
+          in
+          if List.length kept <> List.length gs then begin
+            guards := kept;
+            step ()
+          end
+    in
+    step ();
+    match es with
+    | [] -> []
+    | e :: _ -> List.map (fun g -> { e with guard = g }) !guards
+  in
+  List.concat_map (fun key -> collapse (Hashtbl.find groups key)) !keys
+
+let make ~ftcpg ~entries ~tracks =
+  let entries =
+    List.sort
+      (fun a b -> compare (a.start, a.item) (b.start, b.item))
+      (dedup entries)
+  in
+  { ftcpg; entries; tracks }
+
+let schedule_length t =
+  List.fold_left (fun acc tr -> max acc tr.makespan) 0. t.tracks
+
+let no_fault_length t =
+  match
+    List.find_opt (fun tr -> Cond.fault_count tr.scenario = 0) t.tracks
+  with
+  | Some tr -> tr.makespan
+  | None -> schedule_length t
+
+let entries_of_item t item =
+  List.filter (fun e -> e.item = item) t.entries
+
+let entries_on t resource = List.filter (fun e -> e.resource = resource) t.entries
+
+let starts_of_vertex t vid =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun e -> if e.item = Exec vid then Some e.start else None)
+       t.entries)
+
+let completion_of_process t ~scenario pid =
+  let copies = Ftcpg.proc_copies t.ftcpg ~pid in
+  List.fold_left
+    (fun acc e ->
+      match e.item with
+      | Exec vid
+        when List.mem vid copies
+             && Ftcpg.exists_in t.ftcpg ~scenario vid
+             && Cond.implies scenario e.guard ->
+          max acc e.finish
+      | Exec _ | Bcast _ -> acc)
+    0. t.entries
+
+let violations t =
+  let problem = Ftcpg.problem t.ftcpg in
+  let app = problem.Problem.app in
+  let deadline = app.App.deadline in
+  let g = app.App.graph in
+  let global =
+    List.filter_map
+      (fun tr ->
+        if tr.makespan > deadline +. 1e-9 then
+          Some
+            (Printf.sprintf "scenario %s: makespan %g exceeds deadline %g"
+               (Cond.to_string ~name:(Ftcpg.cond_name t.ftcpg) tr.scenario)
+               tr.makespan deadline)
+        else None)
+      t.tracks
+  in
+  let local =
+    List.concat_map
+      (fun (p : Graph.process) ->
+        match p.Graph.local_deadline with
+        | None -> []
+        | Some d ->
+            List.filter_map
+              (fun tr ->
+                let c = completion_of_process t ~scenario:tr.scenario p.Graph.pid in
+                if c > d +. 1e-9 then
+                  Some
+                    (Printf.sprintf
+                       "scenario %s: %s completes at %g, local deadline %g"
+                       (Cond.to_string ~name:(Ftcpg.cond_name t.ftcpg)
+                          tr.scenario)
+                       p.Graph.pname c d)
+                else None)
+              t.tracks)
+      (Array.to_list (Graph.processes g))
+  in
+  global @ local
+
+let meets_deadline t = violations t = []
+
+let entry_count t = List.length t.entries
+
+let item_name t = function
+  | Exec vid -> (Ftcpg.vertex t.ftcpg vid).Ftcpg.name
+  | Bcast vid -> Ftcpg.cond_name t.ftcpg vid
+
+let resource_label t = function
+  | Node nid ->
+      (Ftes_arch.Arch.node (Ftcpg.problem t.ftcpg).Problem.arch nid)
+        .Ftes_arch.Arch.nname
+  | Bus -> "bus"
+  | Local -> "local"
+
+let pp ppf t =
+  let guard_str g = Cond.to_string ~name:(Ftcpg.cond_name t.ftcpg) g in
+  let resources =
+    let problem = Ftcpg.problem t.ftcpg in
+    List.map (fun nid -> Node nid)
+      (Ftes_arch.Arch.node_ids problem.Problem.arch)
+    @ [ Bus; Local ]
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      match entries_on t r with
+      | [] -> ()
+      | es ->
+          Format.fprintf ppf "-- %s --@," (resource_label t r);
+          List.iter
+            (fun e ->
+              Format.fprintf ppf "  %7.1f-%-7.1f %-10s if %s@," e.start
+                e.finish (item_name t e.item) (guard_str e.guard))
+            es)
+    resources;
+  Format.fprintf ppf "worst-case length %g, no-fault length %g, %d scenarios@]"
+    (schedule_length t) (no_fault_length t) (List.length t.tracks)
+
+(* Matrix layout close to the paper's Fig. 6: one column per distinct
+   guard, one row per application-level object. *)
+let pp_matrix ?(max_columns = 16) ppf t =
+  let guard_str g = Cond.to_string ~name:(Ftcpg.cond_name t.ftcpg) g in
+  let problem = Ftcpg.problem t.ftcpg in
+  let g = (Ftcpg.problem t.ftcpg).Problem.app.App.graph in
+  let guards =
+    List.sort_uniq Cond.compare (List.map (fun e -> e.guard) t.entries)
+  in
+  if List.length guards > max_columns then
+    Format.fprintf ppf
+      "(%d distinct guards; matrix layout suppressed, see list layout)@,"
+      (List.length guards)
+  else begin
+    let row_key e =
+      match e.item with
+      | Exec vid -> (
+          match (Ftcpg.vertex t.ftcpg vid).Ftcpg.kind with
+          | Ftcpg.Proc_copy { pid; _ } | Ftcpg.Sync_proc pid ->
+              (0, pid, (Graph.process g pid).Graph.pname)
+          | Ftcpg.Msg_inst { mid; _ } | Ftcpg.Sync_msg mid ->
+              (1, mid, (Graph.message g mid).Graph.mname))
+      | Bcast vid -> (2, vid, Ftcpg.cond_name t.ftcpg vid)
+    in
+    let rows =
+      List.sort_uniq compare (List.map row_key t.entries)
+    in
+    let cell row guard =
+      let cs =
+        List.filter_map
+          (fun e ->
+            if row_key e = row && Cond.equal e.guard guard then
+              Some
+                (Printf.sprintf "%g(%s)" e.start
+                   (match e.item with
+                   | Exec vid -> (Ftcpg.vertex t.ftcpg vid).Ftcpg.name
+                   | Bcast _ -> "bc"))
+            else None)
+          t.entries
+      in
+      String.concat " " cs
+    in
+    let header = "" :: List.map guard_str guards in
+    let body =
+      List.map
+        (fun ((_, _, name) as row) -> name :: List.map (cell row) guards)
+        rows
+    in
+    Format.pp_print_string ppf (Ftes_util.Chart.render_table ~header body)
+  end;
+  ignore problem

@@ -1,0 +1,47 @@
+(* Sorted list of non-overlapping, non-empty [start, finish) intervals.
+   Touching intervals (finish = next start) are kept separate; the eps
+   guards against float noise when the caller re-derives boundaries. *)
+
+type t = (float * float) list
+
+let eps = 1e-9
+
+let empty = []
+
+let overlaps (s1, f1) (s2, f2) = s1 < f2 -. eps && s2 < f1 -. eps
+
+let conflict_end t ~start ~finish =
+  List.find_map
+    (fun (s, f) -> if overlaps (s, f) (start, finish) then Some f else None)
+    t
+
+let is_free t ~start ~finish = conflict_end t ~start ~finish = None
+
+let rec insert (s, f) = function
+  | [] -> [ (s, f) ]
+  | (s', f') :: rest as l ->
+      if f <= s' +. eps then (s, f) :: l
+      else if f' <= s +. eps then (s', f') :: insert (s, f) rest
+      else invalid_arg "Timeline.reserve: overlapping reservation"
+
+let reserve t ~start ~finish =
+  if finish <= start +. eps then
+    if finish < start then invalid_arg "Timeline.reserve: negative interval"
+    else t (* zero-length reservations occupy nothing *)
+  else insert (start, finish) t
+
+let earliest_gap t ~from_ ~duration =
+  if duration <= eps then
+    (* Zero-duration items fit anywhere at or after [from_]. *)
+    from_
+  else
+    let rec go pos = function
+      | [] -> pos
+      | (s, f) :: rest ->
+          if pos +. duration <= s +. eps then pos else go (max pos f) rest
+    in
+    go from_ t
+
+let intervals t = t
+
+let busy_until t = List.fold_left (fun acc (_, f) -> max acc f) 0. t

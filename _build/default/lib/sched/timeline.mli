@@ -1,0 +1,27 @@
+(** Persistent reservation timeline of one exclusive resource (a CPU
+    node or the bus). Persistence matters: the conditional scheduler
+    forks execution tracks at every condition and each branch continues
+    with its own copy of the resource state. *)
+
+type t
+
+val empty : t
+
+val reserve : t -> start:float -> finish:float -> t
+(** @raise Invalid_argument if the interval is empty, negative, or
+    overlaps an existing reservation. *)
+
+val is_free : t -> start:float -> finish:float -> bool
+
+val conflict_end : t -> start:float -> finish:float -> float option
+(** End of the earliest reservation overlapping [start, finish), if
+    any — the next candidate position when searching for a window. *)
+
+val earliest_gap : t -> from_:float -> duration:float -> float
+(** Earliest [s >= from_] such that [s, s + duration) is free. *)
+
+val intervals : t -> (float * float) list
+(** Sorted, non-overlapping. *)
+
+val busy_until : t -> float
+(** End of the last reservation; 0. when empty. *)

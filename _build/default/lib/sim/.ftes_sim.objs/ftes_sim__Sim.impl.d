@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Float Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_sched Ftes_util Hashtbl List Option

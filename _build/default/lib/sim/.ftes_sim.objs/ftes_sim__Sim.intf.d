@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Format Ftes_ftcpg Ftes_sched Ftes_util

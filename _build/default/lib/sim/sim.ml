@@ -1,0 +1,283 @@
+module Cond = Ftes_ftcpg.Cond
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module Problem = Ftes_ftcpg.Problem
+module Table = Ftes_sched.Table
+module Graph = Ftes_app.Graph
+module App = Ftes_app.App
+module Arch = Ftes_arch.Arch
+module Bus = Ftes_arch.Bus
+
+type event = { time : float; what : string }
+
+type outcome = {
+  scenario : Cond.guard;
+  makespan : float;
+  events : event list;
+  violations : string list;
+}
+
+let eps = 1e-6
+
+(* The run-time scheduler on each node activates an item according to
+   the most specific table column whose guard currently holds. *)
+let applicable_entry table ~scenario item =
+  let candidates =
+    List.filter
+      (fun (e : Table.entry) -> Cond.implies scenario e.Table.guard)
+      (Table.entries_of_item table item)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let best =
+        List.fold_left
+          (fun acc (e : Table.entry) ->
+            match acc with
+            | None -> Some e
+            | Some b ->
+                if Cond.size e.Table.guard > Cond.size b.Table.guard then
+                  Some e
+                else acc)
+          None candidates
+      in
+      best
+
+let scenario_name ftcpg scenario =
+  Cond.to_string ~name:(Ftcpg.cond_name ftcpg) scenario
+
+let run table ~scenario =
+  let ftcpg = table.Table.ftcpg in
+  let problem = Ftcpg.problem ftcpg in
+  let app = problem.Problem.app in
+  let g = app.App.graph in
+  let violations = ref [] in
+  let events = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  let trace time fmt =
+    Format.kasprintf (fun what -> events := { time; what } :: !events) fmt
+  in
+  (* Select the activation of every vertex existing in this scenario. *)
+  let n = Ftcpg.vertex_count ftcpg in
+  let chosen : Table.entry option array = Array.make n None in
+  for vid = 0 to n - 1 do
+    let v = Ftcpg.vertex ftcpg vid in
+    if Cond.implies scenario v.Ftcpg.guard then begin
+      match applicable_entry table ~scenario (Table.Exec vid) with
+      | None ->
+          fail "vertex %s reachable but has no applicable activation"
+            v.Ftcpg.name
+      | Some e ->
+          (* Ambiguity: another maximally specific column with a
+             different start would leave the run-time scheduler with two
+             contradictory activation times. *)
+          List.iter
+            (fun (e' : Table.entry) ->
+              if
+                Cond.implies scenario e'.Table.guard
+                && Cond.size e'.Table.guard = Cond.size e.Table.guard
+                && Float.abs (e'.Table.start -. e.Table.start) > eps
+              then
+                fail "vertex %s has ambiguous activations at %g and %g in %s"
+                  v.Ftcpg.name e.Table.start e'.Table.start
+                  (scenario_name ftcpg scenario))
+            (Table.entries_of_item table (Table.Exec vid));
+          chosen.(vid) <- Some e;
+          trace e.Table.start "start %s (until %g)" v.Ftcpg.name e.Table.finish
+    end
+  done;
+  (* Broadcast arrival of each condition revealed in this scenario. *)
+  let bcast_finish = Hashtbl.create 16 in
+  let nnodes = Arch.node_count problem.Problem.arch in
+  for vid = 0 to n - 1 do
+    let v = Ftcpg.vertex ftcpg vid in
+    if v.Ftcpg.conditional && Cond.implies scenario v.Ftcpg.guard then begin
+      match chosen.(vid) with
+      | None -> ()
+      | Some e ->
+          if nnodes <= 1 then Hashtbl.replace bcast_finish vid e.Table.finish
+          else begin
+            match applicable_entry table ~scenario (Table.Bcast vid) with
+            | None ->
+                fail "condition %s is never broadcast"
+                  (Ftcpg.cond_name ftcpg vid)
+            | Some b ->
+                if b.Table.start < e.Table.finish -. eps then
+                  fail "condition %s broadcast at %g before it is produced at %g"
+                    (Ftcpg.cond_name ftcpg vid) b.Table.start e.Table.finish;
+                Hashtbl.replace bcast_finish vid b.Table.finish;
+                trace b.Table.start "broadcast %s" (Ftcpg.cond_name ftcpg vid)
+          end
+    end
+  done;
+  (* Causality + distributed knowledge. *)
+  for vid = 0 to n - 1 do
+    match chosen.(vid) with
+    | None -> ()
+    | Some e ->
+        let v = Ftcpg.vertex ftcpg vid in
+        List.iter
+          (fun p ->
+            match chosen.(p) with
+            | Some pe ->
+                if e.Table.start < pe.Table.finish -. eps then
+                  fail "%s starts at %g before predecessor %s finishes at %g (%s)"
+                    v.Ftcpg.name e.Table.start
+                    (Ftcpg.vertex ftcpg p).Ftcpg.name pe.Table.finish
+                    (scenario_name ftcpg scenario)
+            | None -> ())
+          v.Ftcpg.preds;
+        let decision_node =
+          match v.Ftcpg.kind with
+          | Ftcpg.Proc_copy _ -> v.Ftcpg.exec_node
+          | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ ->
+              if v.Ftcpg.on_bus then v.Ftcpg.src_node else None
+          | Ftcpg.Sync_proc _ -> None
+        in
+        List.iter
+          (fun (l : Cond.literal) ->
+            match decision_node with
+            | None -> ()
+            | Some dn -> (
+                match (Ftcpg.vertex ftcpg l.Cond.cond).Ftcpg.exec_node with
+                | Some pn when pn = dn -> ()
+                | Some _ | None -> (
+                    match Hashtbl.find_opt bcast_finish l.Cond.cond with
+                    | Some bf ->
+                        if e.Table.start < bf -. eps then
+                          fail
+                            "%s starts at %g before learning %s (broadcast \
+                             finishes at %g)"
+                            v.Ftcpg.name e.Table.start
+                            (Ftcpg.cond_name ftcpg l.Cond.cond) bf
+                    | None -> ())))
+          (Cond.literals v.Ftcpg.guard);
+        (* Release times. *)
+        (match v.Ftcpg.kind with
+        | Ftcpg.Proc_copy { pid; _ } ->
+            let r = (Graph.process g pid).Graph.release in
+            if e.Table.start < r -. eps then
+              fail "%s starts at %g before its release %g" v.Ftcpg.name
+                e.Table.start r
+        | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ -> ())
+  done;
+  (* Resource exclusivity. *)
+  let active =
+    List.filter_map
+      (fun vid ->
+        match chosen.(vid) with
+        | Some e when e.Table.finish -. e.Table.start > eps -> Some (vid, e)
+        | Some _ | None -> None)
+      (List.init n (fun i -> i))
+  in
+  let overlap (a : Table.entry) (b : Table.entry) =
+    a.Table.start < b.Table.finish -. eps
+    && b.Table.start < a.Table.finish -. eps
+  in
+  let lane_of vid (e : Table.entry) =
+    match e.Table.resource with
+    | Table.Node nid -> Some (`Cpu nid)
+    | Table.Bus ->
+        let v = Ftcpg.vertex ftcpg vid in
+        if Bus.is_tdma (Arch.bus problem.Problem.arch) then
+          Some (`Bus (Option.value v.Ftcpg.src_node ~default:0))
+        else Some (`Bus (-1))
+    | Table.Local -> None
+  in
+  let rec pairs = function
+    | [] -> ()
+    | (vid, e) :: rest ->
+        List.iter
+          (fun (vid', e') ->
+            match (lane_of vid e, lane_of vid' e') with
+            | Some l, Some l' when l = l' && overlap e e' ->
+                fail "%s and %s overlap on the same resource in %s"
+                  (Ftcpg.vertex ftcpg vid).Ftcpg.name
+                  (Ftcpg.vertex ftcpg vid').Ftcpg.name
+                  (scenario_name ftcpg scenario)
+            | _ -> ())
+          rest;
+        pairs rest
+  in
+  pairs active;
+  (* Deadlines. *)
+  let makespan =
+    Array.fold_left
+      (fun acc e ->
+        match e with Some e -> max acc e.Table.finish | None -> acc)
+      0. chosen
+  in
+  if makespan > app.App.deadline +. eps then
+    fail "deadline %g missed: completion %g in %s" app.App.deadline makespan
+      (scenario_name ftcpg scenario);
+  Array.iter
+    (fun (p : Graph.process) ->
+      match p.Graph.local_deadline with
+      | None -> ()
+      | Some d ->
+          let completion =
+            List.fold_left
+              (fun acc vid ->
+                match chosen.(vid) with
+                | Some e -> max acc e.Table.finish
+                | None -> acc)
+              0.
+              (Ftcpg.proc_copies ftcpg ~pid:p.Graph.pid)
+          in
+          if completion > d +. eps then
+            fail "%s misses local deadline %g (completes %g) in %s"
+              p.Graph.pname d completion
+              (scenario_name ftcpg scenario))
+    (Graph.processes g);
+  {
+    scenario;
+    makespan;
+    events = List.sort (fun a b -> compare a.time b.time) !events;
+    violations = List.rev !violations;
+  }
+
+let frozen_start_violations table =
+  let ftcpg = table.Table.ftcpg in
+  let violations = ref [] in
+  Array.iter
+    (fun (v : Ftcpg.vertex) ->
+      if v.Ftcpg.frozen then begin
+        match Table.starts_of_vertex table v.Ftcpg.vid with
+        | [] | [ _ ] -> ()
+        | starts ->
+            violations :=
+              Format.asprintf
+                "frozen vertex %s has several start times: %a" v.Ftcpg.name
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                   Format.pp_print_float)
+                starts
+              :: !violations
+      end)
+    (Ftcpg.vertices ftcpg);
+  List.rev !violations
+
+let validate table =
+  let scenarios = Ftcpg.scenarios table.Table.ftcpg in
+  let per_scenario =
+    List.concat_map (fun s -> (run table ~scenario:s).violations) scenarios
+  in
+  per_scenario @ frozen_start_violations table
+
+let validate_sampled ~rng ~samples table =
+  let scenarios = Ftcpg.scenarios table.Table.ftcpg in
+  let no_fault =
+    List.filter (fun s -> Cond.fault_count s = 0) scenarios
+  in
+  let sampled = Ftes_util.Rng.sample rng samples scenarios in
+  let chosen = List.sort_uniq Cond.compare (no_fault @ sampled) in
+  List.concat_map (fun s -> (run table ~scenario:s).violations) chosen
+  @ frozen_start_violations table
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>scenario faults=%d makespan=%g%s@,"
+    (Cond.fault_count o.scenario)
+    o.makespan
+    (if o.violations = [] then "" else "  VIOLATIONS:");
+  List.iter (fun v -> Format.fprintf ppf "  ! %s@," v) o.violations;
+  List.iter (fun e -> Format.fprintf ppf "  %8.1f %s@," e.time e.what) o.events;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,57 @@
+(** Fault-injection simulation of synthesized schedule tables.
+
+    The paper's run-time architecture executes the schedule tables with
+    a non-preemptive scheduler on every node: activations fire at their
+    table times as condition values become known, condition values are
+    broadcast on the bus, and recoveries follow the conditional columns.
+    Physical fault injection is replaced by scenario injection — a
+    transient fault only flips a condition outcome at the end of the
+    affected execution, so executing the table under an injected
+    scenario exercises exactly the recovery paths (see DESIGN.md,
+    substitution table).
+
+    The simulator replays a {!Ftes_sched.Table.t} under one fault
+    scenario and independently re-checks the distributed-execution
+    invariants the scheduler is supposed to guarantee:
+
+    - every FT-CPG vertex reachable in the scenario has exactly one
+      applicable activation, selected like the run-time scheduler does
+      (the most specific table column whose guard holds);
+    - causality: an activation never precedes the completion of its
+      predecessors in that scenario;
+    - distributed knowledge: an activation whose guard tests a remote
+      condition never precedes the condition broadcast;
+    - resource exclusivity: no two executions overlap on a CPU, no two
+      transmissions overlap on the bus (per TDMA lane);
+    - transparency: frozen vertices start at the same time in every
+      scenario;
+    - deadlines: global and local, in every scenario. *)
+
+type event = {
+  time : float;
+  what : string;  (** Human-readable trace line. *)
+}
+
+type outcome = {
+  scenario : Ftes_ftcpg.Cond.guard;
+  makespan : float;
+  events : event list;  (** Chronological trace. *)
+  violations : string list;  (** Empty iff the scenario executed
+                                 correctly. *)
+}
+
+val run : Ftes_sched.Table.t -> scenario:Ftes_ftcpg.Cond.guard -> outcome
+
+val validate : Ftes_sched.Table.t -> string list
+(** Run every fault scenario (exhaustive — exponential in [k]) plus the
+    cross-scenario transparency check; returns all violations. *)
+
+val validate_sampled :
+  rng:Ftes_util.Rng.t -> samples:int -> Ftes_sched.Table.t -> string list
+(** Like {!validate} on a random subset of scenarios (for larger
+    instances). The fault-free scenario is always included. *)
+
+val frozen_start_violations : Ftes_sched.Table.t -> string list
+(** Only the cross-scenario transparency check. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/soft/softsched.ml: Array Float Format Ftes_app Ftes_arch Ftes_ftcpg Ftes_sched Hashtbl List Option Printf Utility

@@ -1,0 +1,1 @@
+lib/soft/softsched.mli: Format Ftes_app Ftes_ftcpg Ftes_sched Utility

@@ -1,0 +1,1 @@
+lib/soft/utility.ml: Format

@@ -1,0 +1,54 @@
+(** Scheduling of mixed soft/hard fault-tolerant applications ([17],
+    summarized in the paper's Sec. 5.2 list of scheduling extensions).
+
+    Hard processes keep the full treatment: fault-tolerance policies,
+    recovery slack, deadlines guaranteed in every scenario with at most
+    [k] faults. Soft processes are best-effort: single copies without
+    fault tolerance, placed into the idle capacity left by the hard
+    schedule in decreasing utility-density order; a soft process whose
+    achievable utility is zero — or whose producer was dropped — is
+    dropped.
+
+    Two utility figures are reported:
+
+    - {e fault-free utility}: what the static placement earns when no
+      fault occurs;
+    - {e guaranteed utility}: what survives the worst case — every soft
+      completion is shifted by the hard schedule's shared recovery
+      slack (recoveries preempt the idle windows the soft processes sit
+      in), and soft processes pushed to zero utility count as dropped.
+
+    Constraints: a hard process must not consume the output of a soft
+    process (a guaranteed deadline cannot wait on droppable work) —
+    {!schedule} rejects such specifications. *)
+
+type class_ = Hard | Soft of Utility.t
+
+type placement = {
+  pid : int;
+  node : int;
+  start : float;
+  finish : float;
+  utility : float;  (** Fault-free utility of this completion. *)
+  guaranteed_utility : float;
+}
+
+type result = {
+  hard : Ftes_sched.Slack.result;  (** The hard subset's FT schedule. *)
+  hard_pids : int list;
+  soft_placements : placement list;
+  dropped : int list;  (** Soft processes not placed. *)
+  utility_no_fault : float;
+  utility_guaranteed : float;
+  utility_bound : float;  (** Sum of all soft processes' maxima. *)
+}
+
+val schedule :
+  classes:class_ array -> Ftes_ftcpg.Problem.t -> result
+(** [classes] is indexed by process id; the problem's policies and
+    mapping apply to the hard subset (soft processes' policies are
+    ignored — they run as single copies on their best allowed node).
+    @raise Invalid_argument if a hard process depends on a soft one or
+    the classes array has the wrong length. *)
+
+val pp_result : Ftes_app.Graph.t -> Format.formatter -> result -> unit

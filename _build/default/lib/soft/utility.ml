@@ -1,0 +1,46 @@
+type t =
+  | Constant of { value : float; until : float }
+  | Step of { value : float; until : float; late_value : float; cutoff : float }
+  | Linear of { value : float; from_ : float; zero_at : float }
+
+let nonneg name v = if v < 0. then invalid_arg ("Utility: negative " ^ name)
+
+let constant ~value ~until =
+  nonneg "value" value;
+  nonneg "until" until;
+  Constant { value; until }
+
+let step ~value ~until ~late_value ~cutoff =
+  nonneg "value" value;
+  nonneg "late value" late_value;
+  if late_value > value then invalid_arg "Utility.step: late value exceeds value";
+  if cutoff < until then invalid_arg "Utility.step: cutoff before until";
+  Step { value; until; late_value; cutoff }
+
+let linear ~value ~from_ ~zero_at =
+  nonneg "value" value;
+  if zero_at <= from_ then invalid_arg "Utility.linear: zero_at <= from_";
+  Linear { value; from_; zero_at }
+
+let value_at t time =
+  match t with
+  | Constant { value; until } -> if time <= until then value else 0.
+  | Step { value; until; late_value; cutoff } ->
+      if time <= until then value else if time <= cutoff then late_value else 0.
+  | Linear { value; from_; zero_at } ->
+      if time <= from_ then value
+      else if time >= zero_at then 0.
+      else value *. (zero_at -. time) /. (zero_at -. from_)
+
+let max_value t = value_at t 0.
+
+let worthwhile t time = value_at t time > 0.
+
+let pp ppf = function
+  | Constant { value; until } ->
+      Format.fprintf ppf "constant %g until %g" value until
+  | Step { value; until; late_value; cutoff } ->
+      Format.fprintf ppf "step %g until %g, %g until %g" value until late_value
+        cutoff
+  | Linear { value; from_; zero_at } ->
+      Format.fprintf ppf "linear %g from %g to 0 at %g" value from_ zero_at

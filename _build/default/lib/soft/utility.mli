@@ -1,0 +1,38 @@
+(** Utility functions of soft processes.
+
+    The paper's companion work ([17]: Izosimov, Pop, Eles, Peng,
+    "Scheduling of Fault-Tolerant Embedded Systems with Soft and Hard
+    Time Constraints", DATE 2008) extends the synthesis flow with soft
+    processes: their completion is not required, but completing them
+    early yields {e utility} — a non-increasing function of completion
+    time. A soft process completing with zero (or negative) utility may
+    as well be dropped.
+
+    Three standard shapes are provided; all are non-increasing and
+    eventually zero. *)
+
+type t =
+  | Constant of { value : float; until : float }
+      (** Full value up to [until] (e.g. the period), zero after. *)
+  | Step of { value : float; until : float; late_value : float; cutoff : float }
+      (** [value] up to [until], [late_value] up to [cutoff], then 0. *)
+  | Linear of { value : float; from_ : float; zero_at : float }
+      (** Full value up to [from_], decaying linearly to 0 at
+          [zero_at]. *)
+
+val constant : value:float -> until:float -> t
+val step : value:float -> until:float -> late_value:float -> cutoff:float -> t
+val linear : value:float -> from_:float -> zero_at:float -> t
+(** @raise Invalid_argument on negative values or unordered breakpoints. *)
+
+val value_at : t -> float -> float
+(** Utility obtained when the process completes at the given time. *)
+
+val max_value : t -> float
+(** Utility of an immediate completion. *)
+
+val worthwhile : t -> float -> bool
+(** [value_at t time > 0.] — completing later is equivalent to
+    dropping. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+let render_table ~header rows =
+  let ncols = List.length header in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let all = header :: rows in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let fmt_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i in
+          cell ^ String.make (w - String.length cell) ' ')
+        row
+    in
+    String.concat " | " cells
+  in
+  let sep =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (fmt_row header :: sep :: List.map fmt_row rows) ^ "\n"
+
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render_chart ?(width = 64) ?(height = 16) ?(y_label = "") ~x_label ~xs
+    ~series () =
+  if xs = [] then invalid_arg "Chart.render_chart: empty xs";
+  if series = [] then invalid_arg "Chart.render_chart: no series";
+  List.iter
+    (fun (name, ys) ->
+      if List.length ys <> List.length xs then
+        invalid_arg
+          (Printf.sprintf "Chart.render_chart: series %s length mismatch" name))
+    series;
+  let all_ys = List.concat_map snd series in
+  let ymin, ymax = Stats.min_max all_ys in
+  let ymin = min ymin 0. in
+  let yspan = if ymax -. ymin <= 0. then 1. else ymax -. ymin in
+  let xmin, xmax = Stats.min_max xs in
+  let xspan = if xmax -. xmin <= 0. then 1. else xmax -. xmin in
+  let grid = Array.make_matrix height width ' ' in
+  let col_of x =
+    let c = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+    max 0 (min (width - 1) c)
+  in
+  let row_of y =
+    let r =
+      int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+    in
+    (height - 1) - max 0 (min (height - 1) r)
+  in
+  List.iteri
+    (fun si (_, ys) ->
+      let m = markers.(si mod Array.length markers) in
+      List.iter2 (fun x y -> grid.(row_of y).(col_of x) <- m) xs ys)
+    series;
+  let buf = Buffer.create 1024 in
+  if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+  Array.iteri
+    (fun i row ->
+      let yval =
+        ymax -. (float_of_int i /. float_of_int (height - 1) *. yspan)
+      in
+      Buffer.add_string buf (Printf.sprintf "%8.1f |" yval);
+      Buffer.add_string buf (String.init width (fun j -> row.(j)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 9 ' ' ^ "+" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%9s %-8.0f%*s%.0f   (%s)\n" "" xmin (width - 16) ""
+       xmax x_label);
+  let legend =
+    List.mapi
+      (fun si (name, _) ->
+        Printf.sprintf "%c %s" markers.(si mod Array.length markers) name)
+      series
+  in
+  Buffer.add_string buf ("legend: " ^ String.concat "   " legend ^ "\n");
+  Buffer.contents buf

@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+(* Non-negative 62-bit value, avoiding sign issues on boxed int64. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then go () else v
+  in
+  go ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  assert (bound > 0.);
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  (* Always consumes exactly one draw, so that varying [p] does not
+     shift the stream seen by later draws (e.g. the transparency
+     trade-off sweeps compare the same instance at several levels). *)
+  let v = float t 1.0 in
+  if p <= 0. then false else if p >= 1. then true else v < p
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t n xs =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  let n = min n (Array.length arr) in
+  Array.to_list (Array.sub arr 0 n)

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All randomized components of the library (workload generation, tabu
+    search tie-breaking, fault-scenario sampling) draw from this generator
+    so that every experiment is reproducible from a single integer seed.
+    The generator is mutable but never global: callers create and thread
+    states explicitly. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator currently in the same state. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and
+    advances [t]. Useful to give sub-components their own streams. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). Requires [bound > 0.]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [0, 1]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t n xs] draws [min n (length xs)] distinct elements of [xs],
+    in random order. *)

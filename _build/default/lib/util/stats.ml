@@ -1,0 +1,39 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stdev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+      sqrt (sq /. (n -. 1.))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+      List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+      let n = List.length s in
+      if n mod 2 = 1 then List.nth s (n / 2)
+      else (List.nth s ((n / 2) - 1) +. List.nth s (n / 2)) /. 2.
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | s ->
+      let n = List.length s in
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      List.nth s idx
+
+let percent_deviation ~baseline v =
+  if baseline = 0. then 0. else (v -. baseline) /. baseline *. 100.

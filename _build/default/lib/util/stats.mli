@@ -1,0 +1,21 @@
+(** Small statistics helpers for the experiment harnesses. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val stdev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0. for fewer than two
+    samples. *)
+
+val min_max : float list -> float * float
+(** @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+(** 0. on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0, 100], nearest-rank method.
+    @raise Invalid_argument on the empty list. *)
+
+val percent_deviation : baseline:float -> float -> float
+(** [(v - baseline) / baseline * 100.]; 0. when [baseline = 0.]. *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Ftes_app Ftes_arch Ftes_ftcpg Ftes_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Ftes_app Ftes_arch Ftes_ftcpg

@@ -1,0 +1,166 @@
+module Rng = Ftes_util.Rng
+module App = Ftes_app.App
+module Graph = Ftes_app.Graph
+module Overheads = Ftes_app.Overheads
+module Transparency = Ftes_app.Transparency
+module Arch = Ftes_arch.Arch
+module Bus = Ftes_arch.Bus
+module Wcet = Ftes_arch.Wcet
+
+type spec = {
+  seed : int;
+  processes : int;
+  nodes : int;
+  layers : int;
+  extra_edge_prob : float;
+  wcet_min : float;
+  wcet_max : float;
+  msg_min : float;
+  msg_max : float;
+  restrict_prob : float;
+  alpha_frac : float;
+  mu_frac : float;
+  chi_frac : float;
+  frozen_proc_prob : float;
+  frozen_msg_prob : float;
+  tdma_slot : float;
+}
+
+let default =
+  {
+    seed = 1;
+    processes = 20;
+    nodes = 3;
+    layers = 0;
+    extra_edge_prob = 0.15;
+    wcet_min = 10.;
+    wcet_max = 100.;
+    msg_min = 2.;
+    msg_max = 8.;
+    restrict_prob = 0.1;
+    (* Fig. 1 proportions: C = 60, alpha = mu = 10, chi = 5. *)
+    alpha_frac = 1. /. 6.;
+    mu_frac = 1. /. 6.;
+    chi_frac = 1. /. 12.;
+    frozen_proc_prob = 0.;
+    frozen_msg_prob = 0.;
+    tdma_slot = 10.;
+  }
+
+let uniform rng lo hi =
+  if hi <= lo then lo else lo +. Rng.float rng (hi -. lo)
+
+let instance spec =
+  if spec.processes < 1 then invalid_arg "Gen.instance: no processes";
+  if spec.nodes < 1 then invalid_arg "Gen.instance: no nodes";
+  let rng = Rng.create spec.seed in
+  let nlayers =
+    if spec.layers > 0 then min spec.layers spec.processes
+    else max 2 (int_of_float (sqrt (float_of_int spec.processes)))
+  in
+  (* Assign each process a layer; every layer gets at least one. *)
+  let layer_of = Array.make spec.processes 0 in
+  for pid = 0 to spec.processes - 1 do
+    layer_of.(pid) <- (if pid < nlayers then pid else Rng.int rng nlayers)
+  done;
+  (* Overheads scale with the process's mean WCET. *)
+  let b = Graph.Builder.create () in
+  let wcets =
+    Array.init spec.processes (fun _ ->
+        Array.init spec.nodes (fun _ ->
+            uniform rng spec.wcet_min spec.wcet_max))
+  in
+  for pid = 0 to spec.processes - 1 do
+    let avg =
+      Array.fold_left ( +. ) 0. wcets.(pid) /. float_of_int spec.nodes
+    in
+    let overheads =
+      Overheads.make
+        ~alpha:(spec.alpha_frac *. avg)
+        ~mu:(spec.mu_frac *. avg)
+        ~chi:(spec.chi_frac *. avg)
+    in
+    ignore
+      (Graph.Builder.add_process b ~overheads
+         ~name:(Printf.sprintf "P%d" (pid + 1)))
+  done;
+  (* Tree-like backbone: every process in layer l > 0 consumes from a
+     random process of an earlier layer; extra forward edges sprinkle
+     in more parallel structure. *)
+  let procs_in_layer l =
+    List.filter
+      (fun pid -> layer_of.(pid) = l)
+      (List.init spec.processes (fun i -> i))
+  in
+  let earlier pid =
+    List.filter
+      (fun q -> layer_of.(q) < layer_of.(pid))
+      (List.init spec.processes (fun i -> i))
+  in
+  let add_edge src dst =
+    ignore
+      (Graph.Builder.add_message b ~src ~dst
+         ~size:(uniform rng spec.msg_min spec.msg_max))
+  in
+  let edges = Hashtbl.create 64 in
+  let try_add_edge src dst =
+    if not (Hashtbl.mem edges (src, dst)) then begin
+      Hashtbl.add edges (src, dst) ();
+      add_edge src dst
+    end
+  in
+  for l = 1 to nlayers - 1 do
+    List.iter
+      (fun pid ->
+        match earlier pid with
+        | [] -> ()
+        | cands -> try_add_edge (Rng.pick_list rng cands) pid)
+      (procs_in_layer l)
+  done;
+  for src = 0 to spec.processes - 1 do
+    for dst = 0 to spec.processes - 1 do
+      if
+        layer_of.(src) < layer_of.(dst)
+        && Rng.chance rng spec.extra_edge_prob
+      then try_add_edge src dst
+    done
+  done;
+  let graph = Graph.Builder.build b in
+  (* Transparency requirements. *)
+  let frozen = ref [] in
+  for pid = 0 to Graph.process_count graph - 1 do
+    if Rng.chance rng spec.frozen_proc_prob then
+      frozen := Transparency.Proc pid :: !frozen
+  done;
+  for mid = 0 to Graph.message_count graph - 1 do
+    if Rng.chance rng spec.frozen_msg_prob then
+      frozen := Transparency.Msg mid :: !frozen
+  done;
+  (* WCET table with mapping restrictions; at least one allowed node. *)
+  let wcet = Wcet.create ~procs:spec.processes ~nodes:spec.nodes in
+  for pid = 0 to spec.processes - 1 do
+    let keep = Rng.int rng spec.nodes in
+    for nid = 0 to spec.nodes - 1 do
+      if nid = keep || not (Rng.chance rng spec.restrict_prob) then
+        Wcet.set wcet ~pid ~nid wcets.(pid).(nid)
+    done
+  done;
+  Wcet.validate wcet;
+  let arch =
+    Arch.make ~node_count:spec.nodes
+      ~bus:(Bus.tdma ~slot_length:spec.tdma_slot ~bandwidth:1. spec.nodes)
+      ()
+  in
+  let horizon = 1e9 in
+  let app =
+    App.make
+      ~transparency:(Transparency.of_list !frozen)
+      ~graph ~deadline:horizon ~period:horizon ()
+  in
+  (app, arch, wcet)
+
+let problem ?(k = 2) spec =
+  let app, arch, wcet = instance spec in
+  let policies = Ftes_ftcpg.Problem.default_policies ~app ~k in
+  let mapping = Ftes_ftcpg.Problem.fastest_mapping ~app ~wcet ~policies in
+  Ftes_ftcpg.Problem.make ~app ~arch ~wcet ~k ~policies ~mapping

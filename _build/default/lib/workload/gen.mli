@@ -1,0 +1,50 @@
+(** Synthetic workload generation.
+
+    The paper evaluates on randomly generated applications of 20 to 100
+    processes mapped on architectures of 2 to 6 nodes, tolerating 3 to 7
+    transient faults (Sec. 6). The authors' generator is not public;
+    this one produces layered random DAGs (TGFF-style) with the
+    published parameter ranges: WCETs drawn uniformly per allowed node,
+    occasional mapping restrictions, fault-tolerance overheads
+    proportioned like the paper's running examples (α, µ ≈ C/6, χ ≈
+    C/12 for the Fig. 1 process).
+
+    All randomness is seeded — identical specs produce identical
+    instances. *)
+
+type spec = {
+  seed : int;
+  processes : int;
+  nodes : int;
+  layers : int;  (** 0 = choose automatically (≈ sqrt of process count). *)
+  extra_edge_prob : float;  (** Probability of additional non-tree
+                                edges between compatible layers. *)
+  wcet_min : float;
+  wcet_max : float;
+  msg_min : float;
+  msg_max : float;
+  restrict_prob : float;  (** Probability that a (process, node) entry is
+                              a mapping restriction ("X"). At least one
+                              node always remains allowed. *)
+  alpha_frac : float;  (** Error-detection overhead as a fraction of the
+                           process's average WCET. *)
+  mu_frac : float;
+  chi_frac : float;
+  frozen_proc_prob : float;
+  frozen_msg_prob : float;
+  tdma_slot : float;  (** TDMA slot length (bandwidth is 1). *)
+}
+
+val default : spec
+(** 20 processes, 3 nodes, paper-like ranges (WCET 10–100, messages
+    sized to a few slot fractions), no transparency. *)
+
+val instance : spec -> Ftes_app.App.t * Ftes_arch.Arch.t * Ftes_arch.Wcet.t
+(** Generate one application + platform + WCET table. The deadline is
+    left loose (experiments compare schedule lengths; tighten it with
+    [App.with_deadline] when schedulability itself is studied). *)
+
+val problem : ?k:int -> spec -> Ftes_ftcpg.Problem.t
+(** Convenience: {!instance} wrapped into a {!Ftes_ftcpg.Problem.t} with
+    the all-re-execution default policies and the fastest mapping.
+    [k] defaults to 2. *)

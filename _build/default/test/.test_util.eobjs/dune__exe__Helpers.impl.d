@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Ftes_app Ftes_arch Ftes_ftcpg Ftes_workload Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Array Float Ftes_app Helpers List Option QCheck

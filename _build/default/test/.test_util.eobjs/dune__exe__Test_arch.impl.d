@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Float Ftes_arch Helpers Printf QCheck

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Array Filename Ftes_app Ftes_arch Ftes_dsl Ftes_ftcpg Ftes_workload Helpers Option Printf QCheck Sys

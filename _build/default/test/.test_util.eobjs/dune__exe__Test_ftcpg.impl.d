@@ -1,0 +1,1 @@
+test/test_ftcpg.ml: Alcotest Array Ftes_app Ftes_arch Ftes_ftcpg Helpers List Option Printf QCheck

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ftes_app Ftes_arch Ftes_core Ftes_ftcpg Ftes_optim Ftes_sched Ftes_sim Ftes_workload Helpers List Option

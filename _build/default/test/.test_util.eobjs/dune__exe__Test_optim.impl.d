@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Float Ftes_app Ftes_ftcpg Ftes_optim Ftes_sched Ftes_workload Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float Ftes_app Ftes_arch Ftes_ftcpg Ftes_sched Ftes_util Hashtbl Helpers List Printf QCheck String

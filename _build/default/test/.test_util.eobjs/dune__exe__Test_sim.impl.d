@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Astring_contains Ftes_app Ftes_ftcpg Ftes_sched Ftes_sim Ftes_util Helpers List Option Printf QCheck

@@ -1,0 +1,1 @@
+test/test_soft.ml: Alcotest Array Ftes_app Ftes_arch Ftes_core Ftes_ftcpg Ftes_sched Ftes_soft Ftes_util Ftes_workload Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ftes_util Gen Helpers List QCheck String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Ftes_app Ftes_arch Ftes_dsl Ftes_ftcpg Ftes_workload Helpers List Printf QCheck

@@ -1,0 +1,261 @@
+(* Tests for the design-optimization layer: checkpoint-count
+   optimization (closed form vs. brute force), tabu search, steepest
+   descent and the Fig. 7 strategies. *)
+
+module Checkpoint = Ftes_optim.Checkpoint
+module Tabu = Ftes_optim.Tabu
+module Descent = Ftes_optim.Descent
+module Strategy = Ftes_optim.Strategy
+module Problem = Ftes_ftcpg.Problem
+module Mapping = Ftes_ftcpg.Mapping
+module Policy = Ftes_app.Policy
+module Slack = Ftes_sched.Slack
+module Overheads = Ftes_app.Overheads
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint optimization                                             *)
+(* ------------------------------------------------------------------ *)
+
+let brute_force_optimum ~c o ~k ~max_checkpoints =
+  let best = ref 1 and best_w = ref infinity in
+  for n = 1 to max_checkpoints do
+    let w = Checkpoint.worst_case ~c o ~k ~checkpoints:n in
+    if w < !best_w -. 1e-12 then begin
+      best := n;
+      best_w := w
+    end
+  done;
+  !best
+
+let test_local_optimum_fig1 () =
+  (* C = 60, alpha = 10, chi = 5, k = 2: n* = sqrt(120/15) ~ 2.83. *)
+  let n = Checkpoint.local_optimum ~c:60. Overheads.fig1 ~k:2 in
+  Alcotest.(check int) "matches brute force"
+    (brute_force_optimum ~c:60. Overheads.fig1 ~k:2 ~max_checkpoints:100)
+    n
+
+let test_local_optimum_degenerate () =
+  Alcotest.(check int) "k=0" 1
+    (Checkpoint.local_optimum ~c:60. Overheads.fig1 ~k:0);
+  Alcotest.(check int) "zero wcet" 1
+    (Checkpoint.local_optimum ~c:0. Overheads.fig1 ~k:3);
+  (* Zero overheads: more checkpoints always help, up to the cap. *)
+  Alcotest.(check int) "zero overheads hit cap" 16
+    (Checkpoint.local_optimum ~max_checkpoints:16 ~c:60.
+       (Overheads.make ~alpha:0. ~mu:1. ~chi:0.)
+       ~k:2)
+
+let checkpoint_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (c, a, x, k) ->
+        Printf.sprintf "c=%g alpha=%g chi=%g k=%d" c a x k)
+      QCheck.Gen.(
+        quad (float_range 1. 300.) (float_range 0.1 30.) (float_range 0.1 30.)
+          (int_range 1 6))
+  in
+  [
+    Helpers.qtest ~count:200 "closed form equals brute force" arb
+      (fun (c, a, x, k) ->
+        let o = Overheads.make ~alpha:a ~mu:1. ~chi:x in
+        Checkpoint.local_optimum ~max_checkpoints:64 ~c o ~k
+        = brute_force_optimum ~c o ~k ~max_checkpoints:64);
+  ]
+
+let test_assign_local () =
+  let p = Helpers.fig3_problem ~k:2 in
+  let p' = Checkpoint.assign_local p in
+  Array.iteri
+    (fun pid policy ->
+      let plan = policy.Policy.copies.(0) in
+      let c = Problem.copy_wcet p' ~pid ~copy:0 in
+      let o =
+        (Ftes_app.Graph.process (Problem.graph p') pid).Ftes_app.Graph.overheads
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "process %d local optimum" pid)
+        (Checkpoint.local_optimum ~c o ~k:plan.Policy.recoveries)
+        plan.Policy.checkpoints)
+    p'.Problem.policies
+
+let test_global_never_worse () =
+  let p = Helpers.fig3_problem ~k:2 in
+  let local = Checkpoint.assign_local p in
+  let glob = Checkpoint.global_optimize local in
+  Alcotest.(check bool) "global <= local" true
+    (Slack.length glob <= Slack.length local +. 1e-9)
+
+let global_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+      QCheck.Gen.(pair (int_bound 5_000) (int_range 4 14))
+  in
+  [
+    Helpers.qtest ~count:25 "global optimization never increases length" arb
+      (fun (seed, n) ->
+        let p =
+          Helpers.random_problem ~processes:n ~nodes:3 ~k:2 ~seed
+            ~mixed_policies:false ~frozen:false ()
+        in
+        let local = Checkpoint.assign_local p in
+        let glob = Checkpoint.global_optimize local in
+        Slack.length glob <= Slack.length local +. 1e-9);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tabu + descent                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_tabu_improves_or_equals () =
+  let p =
+    Helpers.random_problem ~processes:12 ~nodes:3 ~k:2 ~seed:17
+      ~mixed_policies:false ~frozen:false ()
+  in
+  let initial = Slack.length p in
+  let best, best_len = Tabu.optimize Tabu.default_options p in
+  Alcotest.(check bool) "never worse" true (best_len <= initial +. 1e-9);
+  Helpers.check_float "reported length matches" (Slack.length best) best_len
+
+let test_tabu_respects_nft_objective () =
+  let p =
+    Helpers.random_problem ~processes:10 ~nodes:3 ~k:2 ~seed:5
+      ~mixed_policies:false ~frozen:false ()
+  in
+  let opts = { Tabu.default_options with ft_objective = false } in
+  let best, best_len = Tabu.optimize opts p in
+  Helpers.check_float "nft objective" (Slack.length ~ft:false best) best_len
+
+let test_reassign_policy () =
+  let p = Helpers.fig3_problem ~k:2 in
+  let p' = Tabu.reassign_policy ~k:2 ~wcet:p.Problem.wcet p ~pid:0 Tabu.Repl in
+  Alcotest.(check int) "3 copies" 3
+    (Policy.replica_count p'.Problem.policies.(0));
+  Alcotest.(check int) "mapping follows" 3
+    (Mapping.copy_count p'.Problem.mapping ~pid:0);
+  (* Copy 0 keeps its original node. *)
+  Alcotest.(check int) "copy 0 kept"
+    (Mapping.node_of p.Problem.mapping ~pid:0 ~copy:0)
+    (Mapping.node_of p'.Problem.mapping ~pid:0 ~copy:0);
+  let p'' = Tabu.reassign_policy ~k:2 ~wcet:p.Problem.wcet p' ~pid:0 Tabu.Combined in
+  Alcotest.(check int) "combined has 2 copies" 2
+    (Policy.replica_count p''.Problem.policies.(0));
+  Alcotest.(check bool) "still tolerates k" true
+    (Policy.tolerates p''.Problem.policies.(0) ~k:2)
+
+let test_descent_policy_sweep () =
+  let p =
+    Helpers.random_problem ~processes:10 ~nodes:4 ~k:3 ~seed:3
+      ~mixed_policies:false ~frozen:false ()
+  in
+  let s = Descent.policy_sweep p in
+  Alcotest.(check bool) "never worse" true
+    (Slack.length s <= Slack.length p +. 1e-9);
+  (* A second sweep from the local minimum changes nothing. *)
+  let s2 = Descent.policy_sweep s in
+  Helpers.check_float "fixpoint" (Slack.length s) (Slack.length s2)
+
+let test_descent_remap_sweep () =
+  let p =
+    Helpers.random_problem ~processes:8 ~nodes:3 ~k:2 ~seed:9
+      ~mixed_policies:false ~frozen:false ()
+  in
+  let s = Descent.remap_sweep p in
+  Alcotest.(check bool) "never worse" true
+    (Slack.length s <= Slack.length p +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_inputs ~seed =
+  let spec =
+    { Ftes_workload.Gen.default with processes = 12; nodes = 3; seed }
+  in
+  let app, arch, wcet = Ftes_workload.Gen.instance spec in
+  { Strategy.app; arch; wcet; k = 2 }
+
+let test_strategies_basic () =
+  let inputs = small_inputs ~seed:21 in
+  let nft = Strategy.nft_length inputs in
+  Alcotest.(check bool) "nft positive" true (nft > 0.);
+  List.iter
+    (fun name ->
+      let o = Strategy.run ~nft inputs name in
+      Alcotest.(check bool)
+        (Strategy.name_to_string name ^ " ft >= nft")
+        true
+        (o.Strategy.length >= nft -. 1e-6);
+      Alcotest.(check bool)
+        (Strategy.name_to_string name ^ " fto consistent")
+        true
+        (Float.abs
+           (o.Strategy.fto
+           -. ((o.Strategy.length -. nft) /. nft *. 100.))
+        < 1e-6);
+      (* The optimized configuration still tolerates k faults. *)
+      Array.iter
+        (fun policy ->
+          Alcotest.(check bool) "tolerates" true (Policy.tolerates policy ~k:2))
+        o.Strategy.problem.Problem.policies)
+    Strategy.all_names
+
+let test_mxr_never_worse_than_mx () =
+  List.iter
+    (fun seed ->
+      let inputs = small_inputs ~seed in
+      let nft = Strategy.nft_length inputs in
+      let mx = Strategy.run ~nft inputs Strategy.MX in
+      let mxr = Strategy.run ~nft inputs Strategy.MXR in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: MXR <= MX" seed)
+        true
+        (mxr.Strategy.length <= mx.Strategy.length +. 1e-6))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_mc_global_never_worse_than_local () =
+  List.iter
+    (fun seed ->
+      let inputs = small_inputs ~seed in
+      let nft = Strategy.nft_length inputs in
+      let local = Strategy.run ~nft inputs Strategy.MC_local in
+      let glob =
+        Checkpoint.global_optimize
+          (Checkpoint.assign_local local.Strategy.problem)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: global <= local" seed)
+        true
+        (Slack.length glob <= local.Strategy.length +. 1e-6))
+    [ 11; 12; 13 ]
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "fig1 local optimum" `Quick test_local_optimum_fig1;
+          Alcotest.test_case "degenerate cases" `Quick
+            test_local_optimum_degenerate;
+          Alcotest.test_case "assign_local" `Quick test_assign_local;
+          Alcotest.test_case "global never worse" `Quick test_global_never_worse;
+        ]
+        @ checkpoint_props @ global_props );
+      ( "tabu+descent",
+        [
+          Alcotest.test_case "tabu improves or equals" `Quick
+            test_tabu_improves_or_equals;
+          Alcotest.test_case "nft objective" `Quick
+            test_tabu_respects_nft_objective;
+          Alcotest.test_case "reassign policy" `Quick test_reassign_policy;
+          Alcotest.test_case "policy sweep" `Quick test_descent_policy_sweep;
+          Alcotest.test_case "remap sweep" `Quick test_descent_remap_sweep;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "all strategies basic" `Slow test_strategies_basic;
+          Alcotest.test_case "MXR <= MX" `Slow test_mxr_never_worse_than_mx;
+          Alcotest.test_case "MC global <= local" `Slow
+            test_mc_global_never_worse_than_local;
+        ] );
+    ]

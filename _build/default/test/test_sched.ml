@@ -1,0 +1,442 @@
+(* Tests for the scheduling layer: timelines, bus allocation, schedule
+   tables, conditional scheduling (checked against the Fig. 5/6
+   scenario) and the slack-based estimator. *)
+
+module Timeline = Ftes_sched.Timeline
+module Busalloc = Ftes_sched.Busalloc
+module Table = Ftes_sched.Table
+module Conditional = Ftes_sched.Conditional
+module Slack = Ftes_sched.Slack
+module Cond = Ftes_ftcpg.Cond
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module Problem = Ftes_ftcpg.Problem
+module Bus = Ftes_arch.Bus
+module Policy = Ftes_app.Policy
+
+(* ------------------------------------------------------------------ *)
+(* Timeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_basics () =
+  let t = Timeline.empty in
+  let t = Timeline.reserve t ~start:10. ~finish:20. in
+  let t = Timeline.reserve t ~start:0. ~finish:5. in
+  Alcotest.(check bool) "free gap" true (Timeline.is_free t ~start:5. ~finish:10.);
+  Alcotest.(check bool) "occupied" false (Timeline.is_free t ~start:4. ~finish:6.);
+  Helpers.check_float "busy until" 20. (Timeline.busy_until t);
+  Alcotest.(check int) "intervals" 2 (List.length (Timeline.intervals t));
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Timeline.reserve: overlapping reservation") (fun () ->
+      ignore (Timeline.reserve t ~start:15. ~finish:25.))
+
+let test_timeline_gap () =
+  let t = Timeline.reserve Timeline.empty ~start:10. ~finish:20. in
+  Helpers.check_float "before" 0. (Timeline.earliest_gap t ~from_:0. ~duration:10.);
+  Helpers.check_float "after" 20. (Timeline.earliest_gap t ~from_:0. ~duration:11.);
+  Helpers.check_float "zero duration anywhere" 15.
+    (Timeline.earliest_gap t ~from_:15. ~duration:0.)
+
+let test_timeline_conflict_end () =
+  let t = Timeline.reserve Timeline.empty ~start:10. ~finish:20. in
+  Alcotest.(check (option (Helpers.approx ()))) "conflict" (Some 20.)
+    (Timeline.conflict_end t ~start:15. ~finish:25.);
+  Alcotest.(check (option (Helpers.approx ()))) "no conflict" None
+    (Timeline.conflict_end t ~start:20. ~finish:25.)
+
+let timeline_props =
+  let arb =
+    QCheck.make
+      ~print:(fun xs ->
+        String.concat ";"
+          (List.map (fun (s, d) -> Printf.sprintf "(%g,%g)" s d) xs))
+      QCheck.Gen.(
+        list_size (int_bound 12)
+          (pair (float_range 0. 100.) (float_range 0.1 10.)))
+  in
+  [
+    Helpers.qtest "earliest_gap returns a free, late-enough slot" arb
+      (fun reqs ->
+        let t =
+          List.fold_left
+            (fun t (s, d) ->
+              let s' = Timeline.earliest_gap t ~from_:s ~duration:d in
+              Timeline.reserve t ~start:s' ~finish:(s' +. d))
+            Timeline.empty reqs
+        in
+        (* reserve would have raised if any placement overlapped. *)
+        List.length (Timeline.intervals t) = List.length reqs);
+    Helpers.qtest "gap position respects from_" arb (fun reqs ->
+        let t =
+          List.fold_left
+            (fun t (s, d) ->
+              let s' = Timeline.earliest_gap t ~from_:s ~duration:d in
+              Timeline.reserve t ~start:s' ~finish:(s' +. d))
+            Timeline.empty reqs
+        in
+        List.for_all
+          (fun (s, d) -> Timeline.earliest_gap t ~from_:s ~duration:d >= s)
+          reqs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Busalloc                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_busalloc_tdma_lanes () =
+  let bus = Bus.tdma ~slot_length:10. ~bandwidth:1. 2 in
+  let b = Busalloc.create bus ~nodes:2 in
+  let b, (s0, f0) = Busalloc.place b ~src:0 ~size:5. ~earliest:0. in
+  let b, (s1, f1) = Busalloc.place b ~src:1 ~size:5. ~earliest:0. in
+  Helpers.check_float "node 0 slot" 0. s0;
+  Helpers.check_float "node 1 slot" 10. s1;
+  Alcotest.(check bool) "disjoint" true (f0 <= s1 || f1 <= s0);
+  (* Second message from node 0 packs into the same slot. *)
+  let _, (s2, _) = Busalloc.place b ~src:0 ~size:3. ~earliest:0. in
+  Helpers.check_float "packed mid-slot" 5. s2
+
+let test_busalloc_probe_matches_place () =
+  let bus = Bus.tdma ~slot_length:10. ~bandwidth:1. 3 in
+  let b = Busalloc.create bus ~nodes:3 in
+  let b, _ = Busalloc.place b ~src:1 ~size:4. ~earliest:0. in
+  let ps, pf = Busalloc.probe b ~src:1 ~size:4. ~earliest:0. in
+  let _, (s, f) = Busalloc.place b ~src:1 ~size:4. ~earliest:0. in
+  Helpers.check_float "probe start" ps s;
+  Helpers.check_float "probe finish" pf f
+
+let test_busalloc_zero_size () =
+  let bus = Bus.single ~bandwidth:1. () in
+  let b = Busalloc.create bus ~nodes:1 in
+  let b', (s, f) = Busalloc.place b ~src:0 ~size:0. ~earliest:3. in
+  Helpers.check_float "instant" 3. s;
+  Helpers.check_float "instant finish" 3. f;
+  ignore b'
+
+(* ------------------------------------------------------------------ *)
+(* Conditional scheduling — Fig. 5/6                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_table () = Conditional.schedule (Ftcpg.build (Helpers.fig5_problem ()))
+
+let test_fig6_lengths () =
+  let t = fig5_table () in
+  (* Regression-pinned: worst case 225, fault-free 180 with the Fig. 5
+     parameters of this reproduction. *)
+  Helpers.check_float "worst" 225. (Table.schedule_length t);
+  Helpers.check_float "no fault" 180. (Table.no_fault_length t);
+  Alcotest.(check int) "tracks = scenarios" 15 (List.length t.Table.tracks)
+
+let test_fig6_frozen_single_start () =
+  let t = fig5_table () in
+  let f = t.Table.ftcpg in
+  Array.iter
+    (fun v ->
+      if v.Ftcpg.frozen && v.Ftcpg.duration > 0. then
+        Alcotest.(check int)
+          (v.Ftcpg.name ^ " single start")
+          1
+          (List.length (Table.starts_of_vertex t v.Ftcpg.vid)))
+    (Ftcpg.vertices f)
+
+let test_fig6_deterministic () =
+  let t1 = fig5_table () and t2 = fig5_table () in
+  Alcotest.(check int) "same entry count" (Table.entry_count t1)
+    (Table.entry_count t2);
+  Helpers.check_float "same length" (Table.schedule_length t1)
+    (Table.schedule_length t2)
+
+let test_conditional_k0 () =
+  let p = Helpers.fig5_problem () in
+  let policies =
+    Array.map (fun _ -> Policy.re_execution ~recoveries:0) p.Problem.policies
+  in
+  let p0 = Problem.with_policies (Problem.with_k p 0) policies p.Problem.mapping in
+  let t = Conditional.schedule (Ftcpg.build p0) in
+  Alcotest.(check int) "single track" 1 (List.length t.Table.tracks);
+  Alcotest.(check bool) "no conditions" true
+    (List.for_all
+       (fun e -> Cond.equal e.Table.guard Cond.true_)
+       t.Table.entries)
+
+let test_conditional_deadline_violation () =
+  let p = Helpers.fig5_problem () in
+  let tight =
+    Problem.make ~app:(Ftes_app.App.with_deadline p.Problem.app 200.)
+      ~arch:p.Problem.arch ~wcet:p.Problem.wcet ~k:2
+      ~policies:p.Problem.policies ~mapping:p.Problem.mapping
+  in
+  let t = Conditional.schedule (Ftcpg.build tight) in
+  Alcotest.(check bool) "misses" false (Table.meets_deadline t);
+  Alcotest.(check bool) "violations reported" true (Table.violations t <> [])
+
+let test_conditional_track_cap () =
+  let p =
+    Helpers.random_problem ~processes:10 ~nodes:2 ~k:2 ~seed:3
+      ~mixed_policies:false ()
+  in
+  let f = Ftcpg.build p in
+  Alcotest.(check bool) "raises" true
+    (match
+       Conditional.schedule
+         ~params:{ Conditional.default_params with max_tracks = 2 }
+         f
+     with
+    | exception Conditional.Too_many_tracks 2 -> true
+    | _ -> false)
+
+let sched_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, k) -> Printf.sprintf "seed=%d n=%d k=%d" seed n k)
+      QCheck.Gen.(triple (int_bound 10_000) (int_range 3 9) (int_range 1 2))
+  in
+  [
+    Helpers.qtest ~count:40 "worst-case length dominates every track" arb
+      (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:2 ~k ~seed () in
+        let t = Conditional.schedule (Ftcpg.build p) in
+        List.for_all
+          (fun tr -> tr.Table.makespan <= Table.schedule_length t +. 1e-6)
+          t.Table.tracks);
+    Helpers.qtest ~count:40 "fault-free track never exceeds worst case" arb
+      (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:2 ~k ~seed () in
+        let t = Conditional.schedule (Ftcpg.build p) in
+        Table.no_fault_length t <= Table.schedule_length t +. 1e-6);
+    Helpers.qtest ~count:40 "entries well-formed" arb (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:2 ~k ~seed () in
+        let t = Conditional.schedule (Ftcpg.build p) in
+        List.for_all
+          (fun e ->
+            e.Table.start >= -1e-9 && e.Table.finish >= e.Table.start -. 1e-9)
+          t.Table.entries);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Slack estimator                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_slack_fig5 () =
+  let p = Helpers.fig5_problem () in
+  let r = Slack.evaluate p in
+  Alcotest.(check bool) "positive slack" true (r.Slack.slack_term > 0.);
+  Helpers.check_float "length = root + slack" r.Slack.length
+    (r.Slack.root_makespan +. r.Slack.slack_term);
+  let r0 = Slack.evaluate ~ft:false p in
+  Helpers.check_float "no slack without ft" 0. r0.Slack.slack_term;
+  Alcotest.(check bool) "ft costs time" true (r.Slack.length > r0.Slack.length)
+
+let test_slack_k0_no_slack () =
+  let p = Helpers.fig5_problem () in
+  let policies =
+    Array.map (fun _ -> Policy.re_execution ~recoveries:0) p.Problem.policies
+  in
+  let p0 =
+    Problem.with_policies (Problem.with_k p 0) policies p.Problem.mapping
+  in
+  let r = Slack.evaluate p0 in
+  Helpers.check_float "no recoveries, no slack" 0. r.Slack.slack_term
+
+let test_slack_fto () =
+  Helpers.check_float "fto" 50. (Slack.fto ~ft_length:150. ~nft_length:100.);
+  Helpers.check_float "zero baseline" 0. (Slack.fto ~ft_length:5. ~nft_length:0.)
+
+let slack_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, k) -> Printf.sprintf "seed=%d n=%d k=%d" seed n k)
+      QCheck.Gen.(triple (int_bound 10_000) (int_range 3 20) (int_range 1 4))
+  in
+  [
+    Helpers.qtest ~count:60 "placements never overlap on a node" arb
+      (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:3 ~k ~seed () in
+        let r = Slack.evaluate p in
+        let by_node = Hashtbl.create 8 in
+        List.iter
+          (fun (pl : Slack.placement) ->
+            Hashtbl.replace by_node pl.Slack.node
+              (pl
+              :: (try Hashtbl.find by_node pl.Slack.node with Not_found -> [])))
+          r.Slack.placements;
+        Hashtbl.fold
+          (fun _ pls acc ->
+            acc
+            && List.for_all
+                 (fun (a : Slack.placement) ->
+                   List.for_all
+                     (fun (b : Slack.placement) ->
+                       a == b
+                       || a.Slack.finish <= b.Slack.start +. 1e-6
+                       || b.Slack.finish <= a.Slack.start +. 1e-6)
+                     pls)
+                 pls)
+          by_node true);
+    Helpers.qtest ~count:60 "messages placed after their producer copy" arb
+      (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:3 ~k ~seed () in
+        let g = Problem.graph p in
+        let r = Slack.evaluate p in
+        List.for_all
+          (fun (mp : Slack.msg_placement) ->
+            let m = Ftes_app.Graph.message g mp.Slack.mid in
+            let producer =
+              List.find
+                (fun (pl : Slack.placement) ->
+                  pl.Slack.pid = m.Ftes_app.Graph.src
+                  && pl.Slack.copy = mp.Slack.copy)
+                r.Slack.placements
+            in
+            mp.Slack.start >= producer.Slack.finish -. 1e-6)
+          r.Slack.msg_placements);
+    Helpers.qtest ~count:60 "ft never cheaper than no-ft" arb
+      (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:3 ~k ~seed () in
+        Slack.length ~ft:true p >= Slack.length ~ft:false p -. 1e-6);
+    Helpers.qtest ~count:40 "more faults never shorten the estimate" arb
+      (fun (seed, n, k) ->
+        (* Without transparency: frozen messages depart at worst-case
+           times, which depend on k and reshuffle the greedy root
+           schedule (a Graham-style anomaly can then shorten it). With
+           no frozen objects the root is k-independent and the slack
+           term is monotone in k. *)
+        let p0 =
+          Helpers.random_problem ~processes:n ~nodes:3 ~k:(k + 1) ~seed
+            ~mixed_policies:false ~frozen:false ()
+        in
+        Slack.length (Problem.with_k p0 k)
+        <= Slack.length (Problem.with_k p0 (k + 1)) +. 1e-6);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic invariants                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A bus-free instance (zero-size messages) built directly, so both the
+   WCET table and the per-process overheads can be scaled exactly. *)
+let bus_free_instance ?(nodes = 2) ~seed ~n ~k ~scale () =
+  let rng = Ftes_util.Rng.create seed in
+  let b = Ftes_app.Graph.Builder.create () in
+  for i = 0 to n - 1 do
+    let base = 5. +. Ftes_util.Rng.float rng 50. in
+    ignore
+      (Ftes_app.Graph.Builder.add_process b
+         ~overheads:
+           (Ftes_app.Overheads.make
+              ~alpha:(scale *. base /. 10.)
+              ~mu:(scale *. base /. 10.)
+              ~chi:(scale *. base /. 20.))
+         ~name:(Printf.sprintf "P%d" (i + 1)))
+  done;
+  for dst = 1 to n - 1 do
+    let src = Ftes_util.Rng.int rng dst in
+    ignore (Ftes_app.Graph.Builder.add_message b ~src ~dst ~size:0.)
+  done;
+  let graph = Ftes_app.Graph.Builder.build b in
+  let app = Ftes_app.App.make ~graph ~deadline:1e9 ~period:1e9 () in
+  let arch =
+    Ftes_arch.Arch.make ~node_count:nodes
+      ~bus:(Ftes_arch.Arch.default_bus ~node_count:nodes)
+      ()
+  in
+  let wcet = Ftes_arch.Wcet.create ~procs:n ~nodes in
+  let rng2 = Ftes_util.Rng.create (seed + 1) in
+  for pid = 0 to n - 1 do
+    for nid = 0 to nodes - 1 do
+      Ftes_arch.Wcet.set wcet ~pid ~nid
+        (scale *. (10. +. Ftes_util.Rng.float rng2 50.))
+    done
+  done;
+  let policies = Problem.default_policies ~app ~k in
+  let mapping = Problem.fastest_mapping ~app ~wcet ~policies in
+  Problem.make ~app ~arch ~wcet ~k ~policies ~mapping
+
+let metamorphic_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, k) -> Printf.sprintf "seed=%d n=%d k=%d" seed n k)
+      QCheck.Gen.(triple (int_bound 10_000) (int_range 2 10) (int_range 0 2))
+  in
+  [
+    Helpers.qtest ~count:50
+      "scaling all execution times by c scales the estimate by c" arb
+      (fun (seed, n, k) ->
+        let p1 = bus_free_instance ~seed ~n ~k ~scale:1. () in
+        let p3 = bus_free_instance ~seed ~n ~k ~scale:3. () in
+        Float.abs ((3. *. Slack.length p1) -. Slack.length p3)
+        < 1e-6 *. Slack.length p3);
+    Helpers.qtest ~count:25
+      "scaling scales the conditional worst case too" arb
+      (fun (seed, n, k) ->
+        (* One node: condition broadcasts vanish, so the schedule has no
+           unscaled bus artifacts. *)
+        let n = min n 7 in
+        let p1 = bus_free_instance ~nodes:1 ~seed ~n ~k ~scale:1. () in
+        let p2 = bus_free_instance ~nodes:1 ~seed ~n ~k ~scale:2. () in
+        let len p = Table.schedule_length (Conditional.schedule (Ftcpg.build p)) in
+        Float.abs ((2. *. len p1) -. len p2) < 1e-6 *. len p2);
+    Helpers.qtest ~count:50 "swapping the two nodes leaves the estimate unchanged"
+      arb
+      (fun (seed, n, k) ->
+        (* Zero-size messages make the TDMA slot order irrelevant, so
+           the platform is symmetric under node renaming. *)
+        let p = bus_free_instance ~seed ~n ~k ~scale:1. () in
+        let wcet2 = Ftes_arch.Wcet.copy p.Problem.wcet in
+        for pid = 0 to n - 1 do
+          let a = Ftes_arch.Wcet.get_exn p.Problem.wcet ~pid ~nid:0 in
+          let c = Ftes_arch.Wcet.get_exn p.Problem.wcet ~pid ~nid:1 in
+          Ftes_arch.Wcet.set wcet2 ~pid ~nid:0 c;
+          Ftes_arch.Wcet.set wcet2 ~pid ~nid:1 a
+        done;
+        let mapping2 =
+          Ftes_ftcpg.Mapping.of_array
+            (Array.init n (fun pid ->
+                 Array.of_list
+                   (List.map
+                      (fun nid -> 1 - nid)
+                      (Ftes_ftcpg.Mapping.copies p.Problem.mapping ~pid))))
+        in
+        let p2 =
+          Problem.make ~app:p.Problem.app ~arch:p.Problem.arch ~wcet:wcet2
+            ~k:p.Problem.k ~policies:p.Problem.policies ~mapping:mapping2
+        in
+        Float.abs (Slack.length p -. Slack.length p2) < 1e-6);
+  ]
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "timeline",
+        [
+          Alcotest.test_case "basics" `Quick test_timeline_basics;
+          Alcotest.test_case "gaps" `Quick test_timeline_gap;
+          Alcotest.test_case "conflict end" `Quick test_timeline_conflict_end;
+        ]
+        @ timeline_props );
+      ( "busalloc",
+        [
+          Alcotest.test_case "tdma lanes" `Quick test_busalloc_tdma_lanes;
+          Alcotest.test_case "probe matches place" `Quick
+            test_busalloc_probe_matches_place;
+          Alcotest.test_case "zero size" `Quick test_busalloc_zero_size;
+        ] );
+      ( "conditional",
+        [
+          Alcotest.test_case "fig6 lengths" `Quick test_fig6_lengths;
+          Alcotest.test_case "frozen single start" `Quick
+            test_fig6_frozen_single_start;
+          Alcotest.test_case "deterministic" `Quick test_fig6_deterministic;
+          Alcotest.test_case "k=0 degenerates" `Quick test_conditional_k0;
+          Alcotest.test_case "deadline violations" `Quick
+            test_conditional_deadline_violation;
+          Alcotest.test_case "track cap" `Quick test_conditional_track_cap;
+        ]
+        @ sched_props );
+      ( "slack",
+        [
+          Alcotest.test_case "fig5" `Quick test_slack_fig5;
+          Alcotest.test_case "k=0 no slack" `Quick test_slack_k0_no_slack;
+          Alcotest.test_case "fto" `Quick test_slack_fto;
+        ]
+        @ slack_props );
+      ("metamorphic", metamorphic_props);
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the fault-injection simulator — including negative tests
+   that corrupt a valid schedule table and check that each class of
+   violation is detected. *)
+
+module Sim = Ftes_sim.Sim
+module Table = Ftes_sched.Table
+module Conditional = Ftes_sched.Conditional
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module Cond = Ftes_ftcpg.Cond
+
+let fig5_table () = Conditional.schedule (Ftcpg.build (Helpers.fig5_problem ()))
+
+let test_fig5_validates () =
+  Alcotest.(check (list string)) "no violations" [] (Sim.validate (fig5_table ()))
+
+let test_run_no_fault () =
+  let t = fig5_table () in
+  let scenario =
+    List.find
+      (fun s -> Cond.fault_count s = 0)
+      (Ftcpg.scenarios t.Table.ftcpg)
+  in
+  let o = Sim.run t ~scenario in
+  Alcotest.(check (list string)) "clean" [] o.Sim.violations;
+  Helpers.check_float "makespan = fault-free length" (Table.no_fault_length t)
+    o.Sim.makespan;
+  Alcotest.(check bool) "has events" true (o.Sim.events <> [])
+
+let test_run_worst_fault () =
+  let t = fig5_table () in
+  let scenarios = Ftcpg.scenarios t.Table.ftcpg in
+  let worst =
+    List.fold_left
+      (fun acc s -> max acc (Sim.run t ~scenario:s).Sim.makespan)
+      0. scenarios
+  in
+  Helpers.check_float "worst = schedule length" (Table.schedule_length t) worst
+
+(* Corruptions: rebuild the table with one entry modified and check the
+   simulator catches the resulting inconsistency. *)
+let corrupt t ~f =
+  let entries = List.map f t.Table.entries in
+  Table.make ~ftcpg:t.Table.ftcpg ~entries ~tracks:t.Table.tracks
+
+let test_detects_causality_violation () =
+  let t = fig5_table () in
+  (* Pull some dependent entry to time 0: its predecessors cannot have
+     finished. *)
+  let victim =
+    List.find
+      (fun e ->
+        match e.Table.item with
+        | Table.Exec vid ->
+            (Ftcpg.vertex t.Table.ftcpg vid).Ftcpg.preds <> []
+            && e.Table.start > 50.
+        | Table.Bcast _ -> false)
+      t.Table.entries
+  in
+  let bad =
+    corrupt t ~f:(fun e ->
+        if e == victim then
+          { e with Table.start = 0.; finish = e.Table.finish -. e.Table.start }
+        else e)
+  in
+  Alcotest.(check bool) "caught" true (Sim.validate bad <> [])
+
+let test_detects_missing_activation () =
+  let t = fig5_table () in
+  (* Drop every entry of one vertex. *)
+  let dropped_vid =
+    List.find_map
+      (fun e ->
+        match e.Table.item with Table.Exec vid -> Some vid | _ -> None)
+      (List.rev t.Table.entries)
+  in
+  let dropped_vid = Option.get dropped_vid in
+  let entries =
+    List.filter (fun e -> e.Table.item <> Table.Exec dropped_vid) t.Table.entries
+  in
+  let bad = Table.make ~ftcpg:t.Table.ftcpg ~entries ~tracks:t.Table.tracks in
+  Alcotest.(check bool) "caught" true
+    (List.exists
+       (fun v ->
+         Astring_contains.contains v "no applicable activation")
+       (Sim.validate bad))
+
+let test_detects_overlap () =
+  let t = fig5_table () in
+  (* Shift one long N1 execution onto another. *)
+  let on_n1 =
+    List.filter
+      (fun e ->
+        e.Table.resource = Table.Node 0
+        && e.Table.finish -. e.Table.start > 1.)
+      t.Table.entries
+  in
+  match on_n1 with
+  | a :: b :: _ ->
+      let bad =
+        corrupt t ~f:(fun e ->
+            if e == b then
+              {
+                e with
+                Table.start = a.Table.start;
+                finish = a.Table.start +. (e.Table.finish -. e.Table.start);
+              }
+            else e)
+      in
+      Alcotest.(check bool) "caught" true (Sim.validate bad <> [])
+  | _ -> Alcotest.fail "expected two N1 entries"
+
+let test_detects_frozen_violation () =
+  let t = fig5_table () in
+  let f = t.Table.ftcpg in
+  let frozen_vid =
+    Array.to_list (Ftcpg.vertices f)
+    |> List.find_map (fun v ->
+           if v.Ftcpg.frozen && v.Ftcpg.duration > 0. then Some v.Ftcpg.vid
+           else None)
+  in
+  let frozen_vid = Option.get frozen_vid in
+  (* Duplicate its entry at a different time under a refined guard. *)
+  let entry = List.find (fun e -> e.Table.item = Table.Exec frozen_vid) t.Table.entries in
+  let shifted = { entry with Table.start = entry.Table.start +. 7.;
+                  finish = entry.Table.finish +. 7. } in
+  let bad =
+    Table.make ~ftcpg:f ~entries:(shifted :: t.Table.entries)
+      ~tracks:t.Table.tracks
+  in
+  Alcotest.(check bool) "caught" true
+    (Sim.frozen_start_violations bad <> [])
+
+let test_detects_deadline_miss () =
+  let t = fig5_table () in
+  let p = Ftcpg.problem t.Table.ftcpg in
+  let tight =
+    Ftes_ftcpg.Problem.make
+      ~app:(Ftes_app.App.with_deadline p.Ftes_ftcpg.Problem.app 100.)
+      ~arch:p.Ftes_ftcpg.Problem.arch ~wcet:p.Ftes_ftcpg.Problem.wcet ~k:2
+      ~policies:p.Ftes_ftcpg.Problem.policies
+      ~mapping:p.Ftes_ftcpg.Problem.mapping
+  in
+  let t_tight = Conditional.schedule (Ftcpg.build tight) in
+  Alcotest.(check bool) "deadline miss caught" true
+    (List.exists
+       (fun v -> Astring_contains.contains v "deadline")
+       (Sim.validate t_tight))
+
+let test_validate_sampled () =
+  let t = fig5_table () in
+  let rng = Ftes_util.Rng.create 1 in
+  Alcotest.(check (list string)) "sampled clean" []
+    (Sim.validate_sampled ~rng ~samples:5 t)
+
+(* Fuzz: random mixed-policy instances must always validate. *)
+let sim_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, k) -> Printf.sprintf "seed=%d n=%d k=%d" seed n k)
+      QCheck.Gen.(triple (int_bound 10_000) (int_range 3 10) (int_range 1 2))
+  in
+  [
+    Helpers.qtest ~count:50 "synthesized tables always validate" arb
+      (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:2 ~k ~seed () in
+        let t = Conditional.schedule (Ftcpg.build p) in
+        Sim.validate t = []);
+    Helpers.qtest ~count:30 "three-node instances validate too" arb
+      (fun (seed, n, k) ->
+        let p = Helpers.random_problem ~processes:n ~nodes:3 ~k ~seed () in
+        let t = Conditional.schedule (Ftcpg.build p) in
+        Sim.validate t = []);
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "positive",
+        [
+          Alcotest.test_case "fig5 validates" `Quick test_fig5_validates;
+          Alcotest.test_case "fault-free run" `Quick test_run_no_fault;
+          Alcotest.test_case "worst fault run" `Quick test_run_worst_fault;
+          Alcotest.test_case "sampled validation" `Quick test_validate_sampled;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "causality violation" `Quick
+            test_detects_causality_violation;
+          Alcotest.test_case "missing activation" `Quick
+            test_detects_missing_activation;
+          Alcotest.test_case "resource overlap" `Quick test_detects_overlap;
+          Alcotest.test_case "frozen violation" `Quick
+            test_detects_frozen_violation;
+          Alcotest.test_case "deadline miss" `Quick test_detects_deadline_miss;
+        ] );
+      ("fuzz", sim_props);
+    ]

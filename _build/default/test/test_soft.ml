@@ -1,0 +1,304 @@
+(* Tests for the soft/hard extension ([17]): utility functions and the
+   mixed soft/hard scheduler. *)
+
+module U = Ftes_soft.Utility
+module SS = Ftes_soft.Softsched
+module Graph = Ftes_app.Graph
+module Problem = Ftes_ftcpg.Problem
+module Policy = Ftes_app.Policy
+module Slack = Ftes_sched.Slack
+
+(* ------------------------------------------------------------------ *)
+(* Utility functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_utility_constant () =
+  let u = U.constant ~value:10. ~until:100. in
+  Helpers.check_float "inside" 10. (U.value_at u 50.);
+  Helpers.check_float "at boundary" 10. (U.value_at u 100.);
+  Helpers.check_float "outside" 0. (U.value_at u 101.);
+  Helpers.check_float "max" 10. (U.max_value u);
+  Alcotest.(check bool) "worthwhile" true (U.worthwhile u 99.);
+  Alcotest.(check bool) "not worthwhile" false (U.worthwhile u 200.)
+
+let test_utility_step () =
+  let u = U.step ~value:10. ~until:50. ~late_value:4. ~cutoff:100. in
+  Helpers.check_float "early" 10. (U.value_at u 10.);
+  Helpers.check_float "late" 4. (U.value_at u 70.);
+  Helpers.check_float "after cutoff" 0. (U.value_at u 150.)
+
+let test_utility_linear () =
+  let u = U.linear ~value:10. ~from_:20. ~zero_at:120. in
+  Helpers.check_float "plateau" 10. (U.value_at u 10.);
+  Helpers.check_float "midpoint" 5. (U.value_at u 70.);
+  Helpers.check_float "zero" 0. (U.value_at u 120.);
+  Helpers.check_float "beyond" 0. (U.value_at u 200.)
+
+let test_utility_errors () =
+  Alcotest.check_raises "negative" (Invalid_argument "Utility: negative value")
+    (fun () -> ignore (U.constant ~value:(-1.) ~until:1.));
+  Alcotest.check_raises "cutoff order"
+    (Invalid_argument "Utility.step: cutoff before until") (fun () ->
+      ignore (U.step ~value:1. ~until:10. ~late_value:0.5 ~cutoff:5.));
+  Alcotest.check_raises "linear order"
+    (Invalid_argument "Utility.linear: zero_at <= from_") (fun () ->
+      ignore (U.linear ~value:1. ~from_:10. ~zero_at:10.))
+
+let utility_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (v, a, b, t1, t2) ->
+        Printf.sprintf "v=%g a=%g b=%g t1=%g t2=%g" v a b t1 t2)
+      QCheck.Gen.(
+        tup5 (float_range 0. 100.) (float_range 0. 100.)
+          (float_range 0.1 100.) (float_range 0. 400.) (float_range 0. 400.))
+  in
+  let shapes v a b =
+    [
+      U.constant ~value:v ~until:a;
+      U.step ~value:v ~until:a ~late_value:(v /. 2.) ~cutoff:(a +. b);
+      U.linear ~value:v ~from_:a ~zero_at:(a +. b);
+    ]
+  in
+  [
+    Helpers.qtest "utilities are non-increasing" arb (fun (v, a, b, t1, t2) ->
+        let lo = min t1 t2 and hi = max t1 t2 in
+        List.for_all
+          (fun u -> U.value_at u lo >= U.value_at u hi -. 1e-9)
+          (shapes v a b));
+    Helpers.qtest "utilities bounded by max_value" arb (fun (v, a, b, t1, _) ->
+        List.for_all
+          (fun u ->
+            let x = U.value_at u t1 in
+            x >= 0. && x <= U.max_value u +. 1e-9)
+          (shapes v a b));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Softsched fixtures                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hard chain A -> B, soft chain fed by A: A -> C -> D. *)
+let mixed_problem ~k =
+  let b = Graph.Builder.create () in
+  let o = Ftes_app.Overheads.make ~alpha:1. ~mu:1. ~chi:1. in
+  let a = Graph.Builder.add_process b ~overheads:o ~name:"A" in
+  let b1 = Graph.Builder.add_process b ~overheads:o ~name:"B" in
+  let c = Graph.Builder.add_process b ~overheads:o ~name:"C" in
+  let d = Graph.Builder.add_process b ~overheads:o ~name:"D" in
+  ignore (Graph.Builder.add_message b ~src:a ~dst:b1 ~size:2.);
+  ignore (Graph.Builder.add_message b ~src:a ~dst:c ~size:2.);
+  ignore (Graph.Builder.add_message b ~src:c ~dst:d ~size:2.);
+  let graph = Graph.Builder.build b in
+  let app = Ftes_app.App.make ~graph ~deadline:500. ~period:500. () in
+  let nodes = 2 in
+  let arch =
+    Ftes_arch.Arch.make ~node_count:nodes
+      ~bus:(Ftes_arch.Arch.default_bus ~node_count:nodes)
+      ()
+  in
+  let wcet = Ftes_arch.Wcet.create ~procs:4 ~nodes in
+  for pid = 0 to 3 do
+    Ftes_arch.Wcet.set wcet ~pid ~nid:0 20.;
+    Ftes_arch.Wcet.set wcet ~pid ~nid:1 25.
+  done;
+  let policies = Array.make 4 (Policy.re_execution ~recoveries:k) in
+  let mapping = Problem.fastest_mapping ~app ~wcet ~policies in
+  let p = Problem.make ~app ~arch ~wcet ~k ~policies ~mapping in
+  let classes =
+    [|
+      SS.Hard;
+      SS.Hard;
+      SS.Soft (U.linear ~value:100. ~from_:50. ~zero_at:400.);
+      SS.Soft (U.constant ~value:40. ~until:450.);
+    |]
+  in
+  (p, classes, (a, b1, c, d))
+
+let test_soft_basic () =
+  let p, classes, (_, _, c, d) = mixed_problem ~k:1 in
+  let r = SS.schedule ~classes p in
+  Alcotest.(check int) "both soft placed" 2 (List.length r.SS.soft_placements);
+  Alcotest.(check (list int)) "none dropped" [] r.SS.dropped;
+  Alcotest.(check bool) "positive utility" true (r.SS.utility_no_fault > 0.);
+  Alcotest.(check bool) "guaranteed <= no-fault" true
+    (r.SS.utility_guaranteed <= r.SS.utility_no_fault +. 1e-9);
+  Alcotest.(check bool) "no-fault <= bound" true
+    (r.SS.utility_no_fault <= r.SS.utility_bound +. 1e-9);
+  (* Dependency respected: D after C. *)
+  let pl pid = List.find (fun (x : SS.placement) -> x.SS.pid = pid) r.SS.soft_placements in
+  Alcotest.(check bool) "D after C" true ((pl d).SS.start >= (pl c).SS.finish -. 1e-9)
+
+let test_soft_rejects_hard_on_soft () =
+  let p, _, _ = mixed_problem ~k:1 in
+  (* Make C hard while its producer A is soft: rejected. *)
+  let classes =
+    [| SS.Soft (U.constant ~value:1. ~until:100.); SS.Hard; SS.Hard; SS.Hard |]
+  in
+  Alcotest.(check bool) "raises" true
+    (match SS.schedule ~classes p with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_soft_length_mismatch () =
+  let p, _, _ = mixed_problem ~k:1 in
+  Alcotest.check_raises "length"
+    (Invalid_argument "Softsched.schedule: classes length mismatch") (fun () ->
+      ignore (SS.schedule ~classes:[| SS.Hard |] p))
+
+let test_all_hard () =
+  let p, _, _ = mixed_problem ~k:1 in
+  let r = SS.schedule ~classes:(Array.make 4 SS.Hard) p in
+  Alcotest.(check int) "no soft" 0 (List.length r.SS.soft_placements);
+  Helpers.check_float "no utility" 0. r.SS.utility_no_fault;
+  (* The hard schedule equals the full problem's evaluation. *)
+  Helpers.check_float "same hard length" (Slack.length p) r.SS.hard.Slack.length
+
+let test_drop_on_zero_utility () =
+  let p, _, _ = mixed_problem ~k:1 in
+  (* C can never earn utility: both C and its dependent D are dropped. *)
+  let classes =
+    [|
+      SS.Hard;
+      SS.Hard;
+      SS.Soft (U.constant ~value:10. ~until:1.);
+      SS.Soft (U.constant ~value:40. ~until:450.);
+    |]
+  in
+  let r = SS.schedule ~classes p in
+  Alcotest.(check (list int)) "C and D dropped" [ 2; 3 ] r.SS.dropped;
+  Helpers.check_float "no utility" 0. r.SS.utility_no_fault
+
+let test_guaranteed_degrades_with_k () =
+  let guaranteed k =
+    let p, classes, _ = mixed_problem ~k in
+    (SS.schedule ~classes p).SS.utility_guaranteed
+  in
+  let g0 = guaranteed 0 and g2 = guaranteed 2 and g5 = guaranteed 5 in
+  Alcotest.(check bool) "k=0 >= k=2" true (g0 >= g2 -. 1e-9);
+  Alcotest.(check bool) "k=2 >= k=5" true (g2 >= g5 -. 1e-9)
+
+let test_no_resource_overlap () =
+  let p, classes, _ = mixed_problem ~k:2 in
+  let r = SS.schedule ~classes p in
+  (* Soft placements never overlap hard placements on the same node. *)
+  List.iter
+    (fun (sp : SS.placement) ->
+      List.iter
+        (fun (hp : Slack.placement) ->
+          if hp.Slack.node = sp.SS.node then
+            Alcotest.(check bool) "disjoint" true
+              (sp.SS.finish <= hp.Slack.start +. 1e-9
+              || hp.Slack.finish <= sp.SS.start +. 1e-9))
+        r.SS.hard.Slack.placements)
+    r.SS.soft_placements
+
+(* Random end-to-end properties via the experiment helper. *)
+let soft_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, k) -> Printf.sprintf "seed=%d n=%d k=%d" seed n k)
+      QCheck.Gen.(triple (int_bound 5_000) (int_range 4 20) (int_range 0 3))
+  in
+  let build (seed, n, k) =
+    let spec =
+      { Ftes_workload.Gen.default with processes = n; nodes = 3; seed }
+    in
+    let p1 = Ftes_workload.Gen.problem ~k:(max k 1) spec in
+    let p =
+      Problem.make ~app:p1.Problem.app ~arch:p1.Problem.arch
+        ~wcet:p1.Problem.wcet ~k
+        ~policies:
+          (Array.map
+             (fun _ -> Policy.re_execution ~recoveries:k)
+             p1.Problem.policies)
+        ~mapping:p1.Problem.mapping
+    in
+    let g = Problem.graph p in
+    let horizon = Slack.length ~ft:false p *. 1.5 in
+    let rng = Ftes_util.Rng.create seed in
+    let classes =
+      Ftes_core.Experiments.mk_soft_classes ~rng ~graph:g ~horizon
+        ~soft_prob:0.7
+    in
+    (p, classes)
+  in
+  [
+    Helpers.qtest ~count:60 "mk_soft_classes never puts soft under hard" arb
+      (fun input ->
+        let p, classes = build input in
+        let g = Problem.graph p in
+        Array.for_all
+          (fun (m : Graph.message) ->
+            not (classes.(m.Graph.dst) = SS.Hard && classes.(m.Graph.src) <> SS.Hard))
+          (Graph.messages g));
+    Helpers.qtest ~count:40 "utility invariants hold" arb (fun input ->
+        let p, classes = build input in
+        let r = SS.schedule ~classes p in
+        r.SS.utility_guaranteed <= r.SS.utility_no_fault +. 1e-9
+        && r.SS.utility_no_fault <= r.SS.utility_bound +. 1e-9
+        && List.for_all (fun (pl : SS.placement) -> pl.SS.utility > 0.)
+             r.SS.soft_placements);
+    Helpers.qtest ~count:40 "every soft process is placed or dropped" arb
+      (fun input ->
+        let p, classes = build input in
+        let g = Problem.graph p in
+        let r = SS.schedule ~classes p in
+        let soft_count =
+          Array.fold_left
+            (fun acc c -> if c = SS.Hard then acc else acc + 1)
+            0 classes
+        in
+        ignore g;
+        List.length r.SS.soft_placements + List.length r.SS.dropped
+        = soft_count);
+    Helpers.qtest ~count:40 "soft placements respect dependencies" arb
+      (fun input ->
+        let p, classes = build input in
+        let g = Problem.graph p in
+        let r = SS.schedule ~classes p in
+        let find pid =
+          List.find_opt (fun (pl : SS.placement) -> pl.SS.pid = pid)
+            r.SS.soft_placements
+        in
+        List.for_all
+          (fun (pl : SS.placement) ->
+            List.for_all
+              (fun src ->
+                match classes.(src) with
+                | SS.Hard -> true
+                | SS.Soft _ -> (
+                    match find src with
+                    | Some producer -> pl.SS.start >= producer.SS.finish -. 1e-6
+                    | None -> false (* producer dropped => consumer dropped *)))
+              (Graph.predecessors g pl.SS.pid))
+          r.SS.soft_placements);
+  ]
+
+let () =
+  Alcotest.run "soft"
+    [
+      ( "utility",
+        [
+          Alcotest.test_case "constant" `Quick test_utility_constant;
+          Alcotest.test_case "step" `Quick test_utility_step;
+          Alcotest.test_case "linear" `Quick test_utility_linear;
+          Alcotest.test_case "errors" `Quick test_utility_errors;
+        ]
+        @ utility_props );
+      ( "softsched",
+        [
+          Alcotest.test_case "basic" `Quick test_soft_basic;
+          Alcotest.test_case "rejects hard-on-soft" `Quick
+            test_soft_rejects_hard_on_soft;
+          Alcotest.test_case "length mismatch" `Quick test_soft_length_mismatch;
+          Alcotest.test_case "all hard" `Quick test_all_hard;
+          Alcotest.test_case "drop on zero utility" `Quick
+            test_drop_on_zero_utility;
+          Alcotest.test_case "guaranteed degrades with k" `Quick
+            test_guaranteed_degrades_with_k;
+          Alcotest.test_case "no resource overlap" `Quick
+            test_no_resource_overlap;
+        ]
+        @ soft_props );
+    ]

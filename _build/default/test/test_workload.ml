@@ -1,0 +1,133 @@
+(* Tests for the synthetic workload generator. *)
+
+module Gen = Ftes_workload.Gen
+module Graph = Ftes_app.Graph
+module App = Ftes_app.App
+module Wcet = Ftes_arch.Wcet
+module Transparency = Ftes_app.Transparency
+
+(* Compare instances via their textual form — covers graphs, overheads,
+   transparency and WCET tables at once. *)
+let render (app, arch, wcet) =
+  Ftes_dsl.Dsl.to_string { Ftes_dsl.Dsl.app; arch; wcet; k = 1 }
+
+let test_determinism () =
+  let spec = { Gen.default with processes = 25; nodes = 4; seed = 123 } in
+  Alcotest.(check string) "identical instances"
+    (render (Gen.instance spec))
+    (render (Gen.instance spec))
+
+let test_seed_changes_instance () =
+  let spec = { Gen.default with processes = 20; seed = 1 } in
+  Alcotest.(check bool) "different" true
+    (render (Gen.instance spec) <> render (Gen.instance { spec with seed = 2 }))
+
+let test_counts () =
+  let spec = { Gen.default with processes = 30; nodes = 5; seed = 7 } in
+  let app, arch, wcet = Gen.instance spec in
+  Alcotest.(check int) "processes" 30 (Graph.process_count app.App.graph);
+  Alcotest.(check int) "nodes" 5 (Ftes_arch.Arch.node_count arch);
+  Alcotest.(check int) "wcet procs" 30 (Wcet.proc_count wcet);
+  Alcotest.(check int) "wcet nodes" 5 (Wcet.node_count wcet)
+
+let test_no_frozen_by_default () =
+  let app, _, _ = Gen.instance { Gen.default with processes = 30; seed = 3 } in
+  Alcotest.(check int) "no transparency" 0
+    (Transparency.cardinal app.App.transparency)
+
+let test_frozen_probabilities () =
+  let spec =
+    {
+      Gen.default with
+      processes = 40;
+      seed = 5;
+      frozen_proc_prob = 1.0;
+      frozen_msg_prob = 1.0;
+    }
+  in
+  let app, _, _ = Gen.instance spec in
+  let g = app.App.graph in
+  Alcotest.(check int) "everything frozen"
+    (Graph.process_count g + Graph.message_count g)
+    (Transparency.cardinal app.App.transparency)
+
+let test_errors () =
+  Alcotest.check_raises "no processes" (Invalid_argument "Gen.instance: no processes")
+    (fun () -> ignore (Gen.instance { Gen.default with processes = 0 }));
+  Alcotest.check_raises "no nodes" (Invalid_argument "Gen.instance: no nodes")
+    (fun () -> ignore (Gen.instance { Gen.default with nodes = 0 }))
+
+let workload_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, nodes) ->
+        Printf.sprintf "seed=%d n=%d nodes=%d" seed n nodes)
+      QCheck.Gen.(triple (int_bound 10_000) (int_range 1 60) (int_range 1 6))
+  in
+  [
+    Helpers.qtest ~count:100 "wcets within spec bounds" arb
+      (fun (seed, n, nodes) ->
+        let spec = { Gen.default with processes = n; nodes; seed } in
+        let _, _, wcet = Gen.instance spec in
+        let ok = ref true in
+        for pid = 0 to n - 1 do
+          for nid = 0 to nodes - 1 do
+            match Wcet.get wcet ~pid ~nid with
+            | Some c ->
+                if c < spec.Gen.wcet_min -. 1e-9 || c > spec.Gen.wcet_max +. 1e-9
+                then ok := false
+            | None -> ()
+          done
+        done;
+        !ok);
+    Helpers.qtest ~count:100 "every process keeps an allowed node" arb
+      (fun (seed, n, nodes) ->
+        let spec =
+          { Gen.default with processes = n; nodes; seed; restrict_prob = 0.8 }
+        in
+        let _, _, wcet = Gen.instance spec in
+        let ok = ref true in
+        for pid = 0 to n - 1 do
+          if Wcet.allowed_nodes wcet ~pid = [] then ok := false
+        done;
+        !ok);
+    Helpers.qtest ~count:100 "graphs are connected enough (non-sources have preds)"
+      arb
+      (fun (seed, n, nodes) ->
+        let spec = { Gen.default with processes = n; nodes; seed } in
+        let app, _, _ = Gen.instance spec in
+        let g = app.App.graph in
+        (* Builder already guarantees acyclicity; check that the merged
+           positional structure is sane. *)
+        Graph.process_count g = n
+        && List.for_all
+             (fun pid -> Graph.in_messages g pid <> [])
+             (List.filter
+                (fun pid -> not (List.mem pid (Graph.sources g)))
+                (List.init n (fun i -> i))));
+    Helpers.qtest ~count:60 "problem helper produces a valid instance" arb
+      (fun (seed, n, nodes) ->
+        let spec = { Gen.default with processes = n; nodes; seed } in
+        let p = Gen.problem ~k:2 spec in
+        p.Ftes_ftcpg.Problem.k = 2
+        && Array.for_all
+             (fun policy -> Ftes_app.Policy.tolerates policy ~k:2)
+             p.Ftes_ftcpg.Problem.policies);
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_instance;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "no frozen by default" `Quick
+            test_no_frozen_by_default;
+          Alcotest.test_case "frozen probabilities" `Quick
+            test_frozen_probabilities;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ]
+        @ workload_props );
+    ]
