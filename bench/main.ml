@@ -6,21 +6,81 @@
      dune exec bench/main.exe             # full reproduction (~minutes)
      dune exec bench/main.exe -- --quick  # reduced sweeps
      dune exec bench/main.exe -- fig7     # a single figure
+     dune exec bench/main.exe -- --jobs 4 # domain-pool size
+     dune exec bench/main.exe -- --json out.json
+
+   Timing of every sweep (jobs, wall seconds, scenarios/s where
+   applicable) is also written as a JSON array, bench.json by default.
 *)
 
 module E = Ftes_core.Experiments
 module Chart = Ftes_util.Chart
+module Par = Ftes_util.Par
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* Value of "--flag V" in argv, or default. *)
+let flag_value name default parse =
+  let v = ref default in
+  Array.iteri
+    (fun i a ->
+      if a = name && i + 1 < Array.length Sys.argv then
+        v := parse Sys.argv.(i + 1))
+    Sys.argv;
+  !v
+
+let jobs =
+  flag_value "--jobs" (Par.default_jobs ()) (fun s ->
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+          Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
+            s;
+          exit 2)
+let json_path = flag_value "--json" "bench.json" Fun.id
 
 let selected =
   let wanted =
     Array.to_list Sys.argv
     |> List.filter (fun a ->
-           a = "ablation"
+           a = "ablation" || a = "validation"
            || (String.length a > 3 && String.sub a 0 3 = "fig"))
   in
   fun name -> wanted = [] || List.mem name wanted
+
+(* ------------------------------------------------------------------ *)
+(* JSON timing records                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let json_records : string list ref = ref []
+
+let record_json fields =
+  let body =
+    String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  in
+  json_records := Printf.sprintf "  {%s}" body :: !json_records
+
+let record_timing ~name ~jobs ~wall_s ?scenarios_per_s () =
+  record_json
+    ([
+       ("name", Printf.sprintf "%S" name);
+       ("jobs", string_of_int jobs);
+       ("wall_s", Printf.sprintf "%.6f" wall_s);
+     ]
+    @
+    match scenarios_per_s with
+    | None -> []
+    | Some r -> [ ("scenarios_per_s", Printf.sprintf "%.1f" r) ])
+
+let write_json () =
+  let oc = open_out json_path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !json_records));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d timing records)\n" json_path
+    (List.length !json_records)
 
 let section title =
   Printf.printf "\n============================================================\n";
@@ -80,13 +140,14 @@ let run_figures () =
     let seeds = if quick then 1 else 3 in
     let sizes = if quick then [ 20; 40 ] else [ 20; 40; 60; 80; 100 ] in
     let t0 = Unix.gettimeofday () in
-    let s = E.fig7 ~seeds_per_point:seeds ~sizes () in
+    let s = E.fig7 ~jobs ~seeds_per_point:seeds ~sizes () in
+    let wall = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." E.pp_series s;
     print_string
       (Chart.render_chart ~y_label:"avg % deviation" ~x_label:"processes"
          ~xs:s.E.xs ~series:s.E.curves ());
-    Printf.printf "(%d seed(s)/point, %.0f s)\n" seeds
-      (Unix.gettimeofday () -. t0)
+    Printf.printf "(%d seed(s)/point, %d job(s), %.0f s)\n" seeds jobs wall;
+    record_timing ~name:"fig7" ~jobs ~wall_s:wall ()
   end;
   if selected "fig8" then begin
     section
@@ -96,13 +157,14 @@ let run_figures () =
     let seeds = if quick then 1 else 3 in
     let sizes = if quick then [ 40; 60 ] else [ 40; 60; 80; 100 ] in
     let t0 = Unix.gettimeofday () in
-    let s = E.fig8 ~seeds_per_point:seeds ~sizes () in
+    let s = E.fig8 ~jobs ~seeds_per_point:seeds ~sizes () in
+    let wall = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." E.pp_series s;
     print_string
       (Chart.render_chart ~y_label:"avg % deviation" ~x_label:"processes"
          ~xs:s.E.xs ~series:s.E.curves ());
-    Printf.printf "(%d seed(s)/point, %.0f s)\n" seeds
-      (Unix.gettimeofday () -. t0)
+    Printf.printf "(%d seed(s)/point, %d job(s), %.0f s)\n" seeds jobs wall;
+    record_timing ~name:"fig8" ~jobs ~wall_s:wall ()
   end
 
 let run_ablations () =
@@ -110,7 +172,7 @@ let run_ablations () =
     "Ablation - transparency/performance trade-off (paper, Sec. 3.3)\n\
      (relative to the fully non-transparent schedule of the same instance)";
   let seeds = if quick then 2 else 5 in
-  let s = E.transparency_tradeoff ~seeds () in
+  let s = E.transparency_tradeoff ~jobs ~seeds () in
   Format.printf "%a@." E.pp_series s;
   print_string
     (Chart.render_chart ~y_label:"% of non-transparent"
@@ -118,11 +180,62 @@ let run_ablations () =
   section
     "Ablation - soft/hard utility vs. fault hypothesis ([17])\n\
      (guaranteed = worst case under k faults; bound = all soft maxima)";
-  let s = E.soft_utility_vs_k ~seeds () in
+  let s = E.soft_utility_vs_k ~jobs ~seeds () in
   Format.printf "%a@." E.pp_series s;
   print_string
     (Chart.render_chart ~y_label:"% of utility bound"
        ~x_label:"tolerated faults k" ~xs:s.E.xs ~series:s.E.curves ())
+
+(* ------------------------------------------------------------------ *)
+(* Validation scaling: exhaustive fault injection across domains       *)
+(* ------------------------------------------------------------------ *)
+
+let run_validation_scaling () =
+  section
+    "Validation scaling - exhaustive fault-injection validation (k=4)\n\
+     (scenario space partitioned across the domain pool; the merged\n\
+     violation list is byte-identical to the sequential run)";
+  let processes = if quick then 6 else 10 in
+  let p =
+    Ftes_workload.Gen.problem ~k:4
+      { Ftes_workload.Gen.default with processes; nodes = 2; seed = 11 }
+  in
+  let table = Ftes_sched.Conditional.schedule (Ftes_ftcpg.Ftcpg.build p) in
+  let scenarios =
+    List.length (Ftes_ftcpg.Ftcpg.scenarios table.Ftes_sched.Table.ftcpg)
+  in
+  Printf.printf "instance: %d processes, 2 nodes, k=4, %d fault scenarios\n"
+    processes scenarios;
+  let time_one jobs =
+    let t0 = Unix.gettimeofday () in
+    let violations = Ftes_sim.Sim.validate ~jobs table in
+    (violations, Unix.gettimeofday () -. t0)
+  in
+  let job_counts =
+    List.sort_uniq compare ([ 1; 2; 4 ] @ [ jobs ])
+  in
+  let baseline = ref None in
+  List.iter
+    (fun j ->
+      let violations, wall = time_one j in
+      let rate = float_of_int scenarios /. Float.max wall 1e-9 in
+      record_timing ~name:"validate-exhaustive" ~jobs:j ~wall_s:wall
+        ~scenarios_per_s:rate ();
+      match !baseline with
+      | None ->
+          baseline := Some (violations, wall);
+          Printf.printf
+            "  jobs=%-3d %8.3f s  %10.0f scenarios/s  (baseline, %d \
+             violations)\n"
+            j wall rate
+            (List.length violations)
+      | Some (base_v, base_t) ->
+          Printf.printf
+            "  jobs=%-3d %8.3f s  %10.0f scenarios/s  speedup %.2fx  \
+             identical: %b\n"
+            j wall rate (base_t /. Float.max wall 1e-9)
+            (violations = base_v))
+    job_counts
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core algorithms                    *)
@@ -202,8 +315,11 @@ let () =
   Printf.printf
     "ftes benchmark harness - reproduction of 'Synthesis of Fault-Tolerant \
      Embedded Systems' (DATE 2008)\n";
-  Printf.printf "mode: %s\n" (if quick then "quick" else "full");
+  Printf.printf "mode: %s, jobs: %d\n" (if quick then "quick" else "full")
+    jobs;
   run_figures ();
   if selected "ablation" then run_ablations ();
+  if selected "validation" then run_validation_scaling ();
   run_micro ();
+  write_json ();
   section "Done"

@@ -95,12 +95,23 @@ let strategy_conv =
   in
   Arg.conv (parse, print)
 
-let synthesize path strategy fto checkpointing no_tables matrix validate =
+let synthesize path strategy fto checkpointing no_tables matrix validate jobs
+    =
   let doc = read_doc path in
+  let tabu =
+    match jobs with
+    | None -> Ftes_core.Synthesis.default_options.Ftes_core.Synthesis.tabu
+    | Some j ->
+        {
+          Ftes_core.Synthesis.default_options.Ftes_core.Synthesis.tabu with
+          Ftes_optim.Tabu.jobs = j;
+        }
+  in
   let options =
     {
       Ftes_core.Synthesis.default_options with
       strategy;
+      tabu;
       compute_fto = fto;
       checkpointing;
       conditional = not no_tables;
@@ -135,7 +146,7 @@ let synthesize path strategy fto checkpointing no_tables matrix validate =
           table
   | None -> ());
   if validate then begin
-    let violations = Ftes_core.Synthesis.validate result in
+    let violations = Ftes_core.Synthesis.validate ?jobs result in
     if violations = [] then
       Format.printf "@.fault-injection validation: OK@."
     else begin
@@ -173,17 +184,22 @@ let synthesize_cmd =
     Arg.(value & flag & info [ "validate" ]
            ~doc:"Run exhaustive fault-injection validation of the tables.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
+           ~doc:"Domains for candidate evaluation and validation \
+                 (default: all cores; 1 = sequential).")
+  in
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:"Synthesize a fault-tolerant configuration and its tables.")
     Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
-          $ matrix $ validate)
+          $ matrix $ validate $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate path faults trace =
+let simulate path faults trace jobs =
   let doc = read_doc path in
   let problem = Ftes_dsl.Dsl.to_problem doc in
   let ftcpg = Ftes_ftcpg.Ftcpg.build problem in
@@ -196,21 +212,28 @@ let simulate path faults trace =
   in
   Format.printf "%d scenarios total, %d with exactly %d fault(s)@."
     (List.length scenarios) (List.length selected) faults;
+  (* Replay the scenarios on the domain pool; the ordered merge keeps
+     the report order identical to the sequential run. *)
+  let outcomes =
+    Ftes_util.Par.map ?jobs
+      (fun s -> Ftes_sim.Sim.run table ~scenario:s)
+      selected
+  in
   let worst = ref None in
   List.iter
-    (fun s ->
-      let o = Ftes_sim.Sim.run table ~scenario:s in
+    (fun o ->
       if o.Ftes_sim.Sim.violations <> [] then begin
         Format.printf "VIOLATIONS in %s:@."
           (Ftes_ftcpg.Cond.to_string
-             ~name:(Ftes_ftcpg.Ftcpg.cond_name ftcpg) s);
+             ~name:(Ftes_ftcpg.Ftcpg.cond_name ftcpg)
+             o.Ftes_sim.Sim.scenario);
         List.iter (fun v -> Format.printf "  ! %s@." v)
           o.Ftes_sim.Sim.violations
       end;
       match !worst with
       | Some w when w.Ftes_sim.Sim.makespan >= o.Ftes_sim.Sim.makespan -> ()
       | _ -> worst := Some o)
-    selected;
+    outcomes;
   match !worst with
   | None -> Format.printf "no scenario with %d fault(s)@." faults
   | Some o ->
@@ -230,10 +253,15 @@ let simulate_cmd =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print the event trace of the worst scenario.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
+           ~doc:"Domains for scenario replay (default: all cores; 1 = \
+                 sequential).")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute the synthesized tables under injected faults.")
-    Term.(const simulate $ file $ faults $ trace)
+    Term.(const simulate $ file $ faults $ trace $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)

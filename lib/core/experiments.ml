@@ -73,14 +73,17 @@ let instance_inputs ~size ~seed =
   let app, arch, wcet = Gen.instance spec in
   { Strategy.app; arch; wcet; k = k_for_size size }
 
-let fig7 ?(seeds_per_point = 5) ?(sizes = [ 20; 40; 60; 80; 100 ])
+let fig7 ?jobs ?(seeds_per_point = 5) ?(sizes = [ 20; 40; 60; 80; 100 ])
     ?(tabu = Tabu.default_options) () =
   let names = [ Strategy.MR; Strategy.SFX; Strategy.MX ] in
   let deviations =
     List.map
       (fun size ->
+        (* Each seed is an independent workload instance — fan them
+           over the domain pool (nested tabu parallelism degrades to
+           sequential inside the workers). *)
         let per_seed =
-          List.init seeds_per_point (fun s ->
+          Ftes_util.Par.init ?jobs seeds_per_point (fun s ->
               let seed = (size * 131) + s in
               let inputs = instance_inputs ~size ~seed in
               let nft = Strategy.nft_length ~opts:tabu inputs in
@@ -117,13 +120,13 @@ let fig7 ?(seeds_per_point = 5) ?(sizes = [ 20; 40; 60; 80; 100 ])
         names;
   }
 
-let fig8 ?(seeds_per_point = 5) ?(sizes = [ 40; 60; 80; 100 ])
+let fig8 ?jobs ?(seeds_per_point = 5) ?(sizes = [ 40; 60; 80; 100 ])
     ?(tabu = Tabu.default_options) () =
   let deviation =
     List.map
       (fun size ->
         let per_seed =
-          List.init seeds_per_point (fun s ->
+          Ftes_util.Par.init ?jobs seeds_per_point (fun s ->
               let seed = (size * 137) + s in
               let inputs = instance_inputs ~size ~seed in
               let nft = Strategy.nft_length ~opts:tabu inputs in
@@ -150,7 +153,7 @@ let fig8 ?(seeds_per_point = 5) ?(sizes = [ 40; 60; 80; 100 ])
     curves = [ ("global vs local checkpointing", deviation) ];
   }
 
-let transparency_tradeoff ?(seeds = 5)
+let transparency_tradeoff ?jobs ?(seeds = 5)
     ?(levels = [ 0.; 0.25; 0.5; 0.75; 1.0 ]) ?(processes = 8) () =
   let schedule_one ~seed ~level =
     let spec =
@@ -180,7 +183,7 @@ let transparency_tradeoff ?(seeds = 5)
     List.map
       (fun level ->
         let ratios =
-          List.init seeds (fun s ->
+          Ftes_util.Par.init ?jobs seeds (fun s ->
               let seed = 1000 + s in
               let len0, ent0, col0 = schedule_one ~seed ~level:0. in
               let len, ent, col = schedule_one ~seed ~level in
@@ -230,13 +233,13 @@ let mk_soft_classes ~rng ~graph ~horizon ~soft_prob =
     (List.rev (Ftes_app.Graph.topological_order graph));
   classes
 
-let soft_utility_vs_k ?(seeds = 5) ?(ks = [ 0; 1; 2; 3; 4 ]) ?(processes = 16)
-    () =
+let soft_utility_vs_k ?jobs ?(seeds = 5) ?(ks = [ 0; 1; 2; 3; 4 ])
+    ?(processes = 16) () =
   let per_k =
     List.map
       (fun k ->
         let ratios =
-          List.init seeds (fun s ->
+          Ftes_util.Par.init ?jobs seeds (fun s ->
               let seed = 500 + s in
               let spec = { Gen.default with processes; nodes = 3; seed } in
               (* The same instance and classification at every k. *)

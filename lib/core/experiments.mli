@@ -39,6 +39,7 @@ val fig6 : unit -> Ftes_sched.Table.t
     of {!fig5}. *)
 
 val fig7 :
+  ?jobs:int ->
   ?seeds_per_point:int ->
   ?sizes:int list ->
   ?tabu:Ftes_optim.Tabu.options ->
@@ -52,6 +53,7 @@ val fig7 :
     scaled with size (paper, Sec. 6). *)
 
 val fig8 :
+  ?jobs:int ->
   ?seeds_per_point:int ->
   ?sizes:int list ->
   ?tabu:Ftes_optim.Tabu.options ->
@@ -64,7 +66,12 @@ val fig8 :
     smaller overhead). Sizes default to 40..100 processes. *)
 
 val transparency_tradeoff :
-  ?seeds:int -> ?levels:float list -> ?processes:int -> unit -> series
+  ?jobs:int ->
+  ?seeds:int ->
+  ?levels:float list ->
+  ?processes:int ->
+  unit ->
+  series
 (** Ablation of the transparency/performance trade-off (paper, Sec. 3.3:
     "transparency can increase the worst-case delay ... reducing
     performance", and Sec. 5: smaller schedule tables): for each frozen
@@ -81,7 +88,7 @@ val transparency_tradeoff :
     (conditional scheduling is exponential in [k]). *)
 
 val soft_utility_vs_k :
-  ?seeds:int -> ?ks:int list -> ?processes:int -> unit -> series
+  ?jobs:int -> ?seeds:int -> ?ks:int list -> ?processes:int -> unit -> series
 (** Ablation for the soft/hard extension ([17]): how much soft utility
     survives as the fault hypothesis hardens. Random applications with
     the downstream half of the graph soft (linear utilities); for each

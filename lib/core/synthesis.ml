@@ -81,8 +81,10 @@ let schedulable t =
       t.estimate.Slack.length
       <= t.problem.Problem.app.App.deadline +. 1e-9
 
-let validate t =
-  match t.table with Some table -> Ftes_sim.Sim.validate table | None -> []
+let validate ?jobs t =
+  match t.table with
+  | Some table -> Ftes_sim.Sim.validate ?jobs table
+  | None -> []
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>synthesis: estimated worst-case length %g%s@,"

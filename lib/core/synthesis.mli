@@ -66,8 +66,9 @@ val schedulable : t -> bool
 (** True when the produced tables (or, failing that, the estimate) meet
     the application deadline in every scenario. *)
 
-val validate : t -> string list
+val validate : ?jobs:int -> t -> string list
 (** Fault-injection validation of the schedule tables (empty when no
-    tables were produced — the estimate alone cannot be simulated). *)
+    tables were produced — the estimate alone cannot be simulated).
+    [jobs] is forwarded to {!Ftes_sim.Sim.validate}. *)
 
 val pp : Format.formatter -> t -> unit

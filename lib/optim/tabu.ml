@@ -17,6 +17,7 @@ type options = {
   policy_moves : bool;
   policy_kinds : policy_kind list;
   ft_objective : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -30,6 +31,7 @@ let default_options =
     policy_moves = true;
     policy_kinds = [ Reexec; Repl; Combined ];
     ft_objective = true;
+    jobs = Ftes_util.Par.default_jobs ();
   }
 
 let kind_of_policy p =
@@ -137,28 +139,44 @@ let optimize opts problem =
   (try
      for iter = 1 to opts.iterations do
        if !stall > opts.stall_limit then raise Exit;
-       (* Sample candidate moves, keep the best admissible one. *)
-       let chosen = ref None in
+       (* Sample candidate moves, keep the best admissible one. The
+          moves are drawn sequentially (the rng stream is the same for
+          every [jobs] value), the expensive part — applying each move
+          and evaluating the schedule-length objective — fans out over
+          the domain pool, and the fold below replays the sequential
+          first-wins tie-breaking in draw order, so the accept decision
+          is identical to the [jobs = 1] run. *)
+       let drawn = ref [] in
        for _ = 1 to opts.sample do
          match random_move rng opts !current with
          | None -> ()
-         | Some mv -> (
-             match apply_move ~k ~wcet !current mv with
-             | exception Invalid_argument _ -> ()
-             | cand ->
-                 let len = objective cand in
-                 let admissible =
-                   (not (is_tabu iter (moved_pid mv)))
-                   || len < !best_len -. 1e-9
-                 in
-                 if admissible then
-                   let better =
-                     match !chosen with
-                     | None -> true
-                     | Some (_, _, l) -> len < l
-                   in
-                   if better then chosen := Some (mv, cand, len))
+         | Some mv -> drawn := mv :: !drawn
        done;
+       let evaluated =
+         Ftes_util.Par.map ~jobs:opts.jobs
+           (fun mv ->
+             match apply_move ~k ~wcet !current mv with
+             | exception Invalid_argument _ -> None
+             | cand -> Some (mv, cand, objective cand))
+           (List.rev !drawn)
+       in
+       let chosen = ref None in
+       List.iter
+         (function
+           | None -> ()
+           | Some (mv, cand, len) ->
+               let admissible =
+                 (not (is_tabu iter (moved_pid mv)))
+                 || len < !best_len -. 1e-9
+               in
+               if admissible then
+                 let better =
+                   match !chosen with
+                   | None -> true
+                   | Some (_, _, l) -> len < l
+                 in
+                 if better then chosen := Some (mv, cand, len))
+         evaluated;
        match !chosen with
        | None -> incr stall
        | Some (mv, cand, len) ->

@@ -29,6 +29,13 @@ type options = {
   ft_objective : bool;  (** Evaluate schedule length with fault
                             tolerance (set false for the SFX baseline's
                             mapping phase). *)
+  jobs : int;  (** Domains used to evaluate each iteration's candidate
+                   moves (default [Ftes_util.Par.default_jobs ()]).
+                   Moves are drawn from the rng sequentially and the
+                   accept decision replays the sequential tie-breaking,
+                   so the search trajectory — and the final
+                   configuration — is identical for every [jobs]
+                   value; [1] is the exact sequential code path. *)
 }
 
 val default_options : options

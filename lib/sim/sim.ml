@@ -256,21 +256,28 @@ let frozen_start_violations table =
     (Ftcpg.vertices ftcpg);
   List.rev !violations
 
-let validate table =
+(* Scenarios replay independently: fan them over the domain pool. The
+   ordered merge keeps the violation list byte-identical to the
+   sequential run for every [jobs] value. *)
+let validate ?jobs table =
   let scenarios = Ftcpg.scenarios table.Table.ftcpg in
   let per_scenario =
-    List.concat_map (fun s -> (run table ~scenario:s).violations) scenarios
+    Ftes_util.Par.concat_map ?jobs
+      (fun s -> (run table ~scenario:s).violations)
+      scenarios
   in
   per_scenario @ frozen_start_violations table
 
-let validate_sampled ~rng ~samples table =
+let validate_sampled ?jobs ~rng ~samples table =
   let scenarios = Ftcpg.scenarios table.Table.ftcpg in
   let no_fault =
     List.filter (fun s -> Cond.fault_count s = 0) scenarios
   in
   let sampled = Ftes_util.Rng.sample rng samples scenarios in
   let chosen = List.sort_uniq Cond.compare (no_fault @ sampled) in
-  List.concat_map (fun s -> (run table ~scenario:s).violations) chosen
+  Ftes_util.Par.concat_map ?jobs
+    (fun s -> (run table ~scenario:s).violations)
+    chosen
   @ frozen_start_violations table
 
 let pp_outcome ppf o =

@@ -1,0 +1,69 @@
+(* Fixed-size domain pool with an atomic work index and index-ordered
+   result merge. See par.mli for the contract. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Set in every worker domain (and in the calling domain while it
+   participates in its own pool) so nested Par calls degrade to the
+   sequential path instead of spawning domains recursively. *)
+let worker_flag : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get worker_flag
+
+(* Pool size actually used for [n] tasks: never more domains than
+   tasks, never parallel inside a worker. *)
+let effective_jobs ?jobs n =
+  if in_worker () then 1
+  else
+    let j = match jobs with Some j -> j | None -> default_jobs () in
+    max 1 (min j n)
+
+let run_pool ~jobs ~n ~(task : int -> unit) =
+  let next = Atomic.make 0 in
+  let error : exn option Atomic.t = Atomic.make None in
+  let worker () =
+    Domain.DLS.set worker_flag true;
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get error = None then begin
+        (try task i
+         with e -> ignore (Atomic.compare_and_set error None (Some e)));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  (* The calling domain pulls tasks too; restore its flag afterwards so
+     subsequent top-level Par calls still parallelize. *)
+  let saved = Domain.DLS.get worker_flag in
+  worker ();
+  Domain.DLS.set worker_flag saved;
+  Array.iter Domain.join domains;
+  match Atomic.get error with Some e -> raise e | None -> ()
+
+let map_array ?jobs f input =
+  let n = Array.length input in
+  let jobs = effective_jobs ?jobs n in
+  if jobs <= 1 then Array.map f input
+  else begin
+    (* Each slot is written by exactly one domain and only read after
+       the joins, which establish the happens-before edge. *)
+    let results = Array.make n None in
+    run_pool ~jobs ~n ~task:(fun i -> results.(i) <- Some (f input.(i)));
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+
+let map ?jobs f xs =
+  let n = List.length xs in
+  if effective_jobs ?jobs n <= 1 then List.map f xs
+  else Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+let concat_map ?jobs f xs =
+  let n = List.length xs in
+  if effective_jobs ?jobs n <= 1 then List.concat_map f xs
+  else List.concat (Array.to_list (map_array ?jobs f (Array.of_list xs)))
+
+let init ?jobs n f =
+  if effective_jobs ?jobs n <= 1 then List.init n f
+  else Array.to_list (map_array ?jobs f (Array.init n Fun.id))

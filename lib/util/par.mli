@@ -1,0 +1,46 @@
+(** Domain-pool parallel execution with deterministic ordered merge.
+
+    The validator replays every fault scenario independently, the tabu
+    search evaluates every candidate move independently, and the
+    experiment sweeps synthesize every workload instance independently —
+    all embarrassingly parallel. This module fans such task lists out
+    over a fixed-size pool of OCaml 5 domains and merges the results
+    {e by input index}, so the output is byte-identical to the
+    sequential run regardless of how the domains interleave.
+
+    Scheduling is dynamic (workers pull the next task from a shared
+    atomic counter), which balances uneven task costs — fault scenarios
+    and candidate configurations vary widely in evaluation time.
+
+    Nesting is safe but never multiplies domains: a [Par] call issued
+    from inside a worker runs sequentially in that worker. Callers can
+    therefore parallelize an outer sweep whose tasks themselves call
+    parallel validation without oversubscribing the machine.
+
+    [~jobs:1] is the exact sequential code path ([List.map] /
+    [List.concat_map] / [List.init]); omitting [jobs] uses
+    {!default_jobs}. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when
+    [?jobs] is omitted. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs]
+    domains. Results are merged in input order. If any [f x] raises,
+    the first exception (in scheduling order) is re-raised in the
+    calling domain after the pool drains. *)
+
+val concat_map : ?jobs:int -> ('a -> 'b list) -> 'a list -> 'b list
+(** [concat_map ~jobs f xs] is [List.concat_map f xs]: per-item result
+    lists are concatenated in input order. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a list
+(** [init ~jobs n f] is [List.init n f] with [f] applied on the pool. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}. *)
+
+val in_worker : unit -> bool
+(** True when called from inside a [Par] worker domain (where nested
+    [Par] calls run sequentially). Exposed for tests and diagnostics. *)

@@ -152,6 +152,46 @@ let test_validate_sampled () =
   Alcotest.(check (list string)) "sampled clean" []
     (Sim.validate_sampled ~rng ~samples:5 t)
 
+(* Fig. 5 rescheduled under a deadline below its fault-free completion:
+   every scenario (including the nominal one) misses the deadline, which
+   makes the sampled validator's guarantees observable. *)
+let tight_fig5_table () =
+  let t = fig5_table () in
+  let p = Ftcpg.problem t.Table.ftcpg in
+  let deadline = 0.9 *. Table.no_fault_length t in
+  let tight =
+    Ftes_ftcpg.Problem.make
+      ~app:(Ftes_app.App.with_deadline p.Ftes_ftcpg.Problem.app deadline)
+      ~arch:p.Ftes_ftcpg.Problem.arch ~wcet:p.Ftes_ftcpg.Problem.wcet ~k:2
+      ~policies:p.Ftes_ftcpg.Problem.policies
+      ~mapping:p.Ftes_ftcpg.Problem.mapping
+  in
+  Conditional.schedule (Ftcpg.build tight)
+
+let test_sampled_includes_fault_free () =
+  let t = tight_fig5_table () in
+  (* Zero samples: only the always-included fault-free scenario is
+     replayed, and it must report the nominal deadline miss. *)
+  let sampled =
+    Sim.validate_sampled ~rng:(Ftes_util.Rng.create 7) ~samples:0 t
+  in
+  Alcotest.(check bool) "fault-free deadline miss reported" true
+    (List.exists (fun v -> Astring_contains.contains v "deadline") sampled)
+
+let test_sampled_subset_of_exhaustive () =
+  let t = tight_fig5_table () in
+  let exhaustive = Sim.validate t in
+  Alcotest.(check bool) "exhaustive violations exist" true (exhaustive <> []);
+  List.iter
+    (fun seed ->
+      let rng = Ftes_util.Rng.create seed in
+      let sampled = Sim.validate_sampled ~rng ~samples:3 t in
+      Alcotest.(check bool)
+        (Printf.sprintf "rng seed %d reports a subset" seed)
+        true
+        (List.for_all (fun v -> List.mem v exhaustive) sampled))
+    [ 1; 2; 3; 4; 5 ]
+
 (* Fuzz: random mixed-policy instances must always validate. *)
 let sim_props =
   let arb =
@@ -181,6 +221,13 @@ let () =
           Alcotest.test_case "fault-free run" `Quick test_run_no_fault;
           Alcotest.test_case "worst fault run" `Quick test_run_worst_fault;
           Alcotest.test_case "sampled validation" `Quick test_validate_sampled;
+        ] );
+      ( "sampled",
+        [
+          Alcotest.test_case "includes fault-free scenario" `Quick
+            test_sampled_includes_fault_free;
+          Alcotest.test_case "subset of exhaustive" `Quick
+            test_sampled_subset_of_exhaustive;
         ] );
       ( "negative",
         [
