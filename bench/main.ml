@@ -10,7 +10,8 @@
      dune exec bench/main.exe -- --json out.json
 
    Timing of every sweep (jobs, wall seconds, scenarios/s where
-   applicable) is also written as a JSON array, bench.json by default.
+   applicable) plus one per-phase wall-clock record is written as a
+   JSON array, BENCH_PR2.json by default.
 *)
 
 module E = Ftes_core.Experiments
@@ -37,7 +38,7 @@ let jobs =
           Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
             s;
           exit 2)
-let json_path = flag_value "--json" "bench.json" Fun.id
+let json_path = flag_value "--json" "BENCH_PR2.json" Fun.id
 
 let selected =
   let wanted =
@@ -72,6 +73,20 @@ let record_timing ~name ~jobs ~wall_s ?scenarios_per_s () =
     match scenarios_per_s with
     | None -> []
     | Some r -> [ ("scenarios_per_s", Printf.sprintf "%.1f" r) ])
+
+let record_phase ~name ~wall_s =
+  record_json
+    [
+      ("phase", Printf.sprintf "%S" name);
+      ("jobs", string_of_int jobs);
+      ("wall_s", Printf.sprintf "%.6f" wall_s);
+    ]
+
+(* Run one top-level phase of the harness and record its wall clock. *)
+let timed_phase name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  record_phase ~name ~wall_s:(Unix.gettimeofday () -. t0)
 
 let write_json () =
   let oc = open_out json_path in
@@ -127,7 +142,7 @@ let run_figures () =
     Format.printf "%a@.@.%a@." Ftes_sched.Table.pp t
       (Ftes_sched.Table.pp_matrix ~max_columns:24)
       t;
-    let violations = Ftes_sim.Sim.validate t in
+    let violations = Ftes_sim.Sim.validate_messages t in
     Printf.printf "fault-injection validation: %s\n"
       (if violations = [] then "OK (all 15 scenarios)"
        else String.concat "; " violations)
@@ -317,9 +332,10 @@ let () =
      Embedded Systems' (DATE 2008)\n";
   Printf.printf "mode: %s, jobs: %d\n" (if quick then "quick" else "full")
     jobs;
-  run_figures ();
-  if selected "ablation" then run_ablations ();
-  if selected "validation" then run_validation_scaling ();
-  run_micro ();
+  timed_phase "figures" run_figures;
+  if selected "ablation" then timed_phase "ablations" run_ablations;
+  if selected "validation" then
+    timed_phase "validation-scaling" run_validation_scaling;
+  timed_phase "micro" run_micro;
   write_json ();
   section "Done"

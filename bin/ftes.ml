@@ -95,8 +95,8 @@ let strategy_conv =
   in
   Arg.conv (parse, print)
 
-let synthesize path strategy fto checkpointing no_tables matrix validate jobs
-    =
+let synthesize path strategy fto checkpointing no_tables matrix validate
+    explain json jobs =
   let doc = read_doc path in
   let tabu =
     match jobs with
@@ -145,13 +145,23 @@ let synthesize path strategy fto checkpointing no_tables matrix validate jobs
           (Ftes_sched.Table.pp_matrix ~max_columns:24)
           table
   | None -> ());
-  if validate then begin
+  if validate || explain || json then begin
     let violations = Ftes_core.Synthesis.validate ?jobs result in
+    if json then
+      Format.printf "@.%s@." (Ftes_sim.Violation.list_to_json violations);
     if violations = [] then
       Format.printf "@.fault-injection validation: OK@."
     else begin
       Format.printf "@.fault-injection validation FAILED:@.";
-      List.iter (fun v -> Format.printf "  ! %s@." v) violations;
+      List.iter
+        (fun v -> Format.printf "  ! %s@." (Ftes_sim.Violation.to_string v))
+        violations;
+      if explain then (
+        match Ftes_core.Synthesis.diagnose ?jobs result with
+        | Some report ->
+            Format.printf "@.-- counterexample report --@.%a@."
+              Ftes_sim.Diagnose.pp_report report
+        | None -> ());
       exit 1
     end
   end
@@ -184,6 +194,17 @@ let synthesize_cmd =
     Arg.(value & flag & info [ "validate" ]
            ~doc:"Run exhaustive fault-injection validation of the tables.")
   in
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"On validation failure, print a counterexample report: \
+                 violations grouped by invariant and vertex, each with a \
+                 shrunk minimal failing scenario. Implies --validate.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Dump the validation violations as a JSON array of \
+                 structured records. Implies --validate.")
+  in
   let jobs =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
            ~doc:"Domains for candidate evaluation and validation \
@@ -193,7 +214,7 @@ let synthesize_cmd =
     (Cmd.info "synthesize"
        ~doc:"Synthesize a fault-tolerant configuration and its tables.")
     Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
-          $ matrix $ validate $ jobs)
+          $ matrix $ validate $ explain $ json $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -227,7 +248,9 @@ let simulate path faults trace jobs =
           (Ftes_ftcpg.Cond.to_string
              ~name:(Ftes_ftcpg.Ftcpg.cond_name ftcpg)
              o.Ftes_sim.Sim.scenario);
-        List.iter (fun v -> Format.printf "  ! %s@." v)
+        List.iter
+          (fun v ->
+            Format.printf "  ! %s@." (Ftes_sim.Violation.to_string v))
           o.Ftes_sim.Sim.violations
       end;
       match !worst with
@@ -298,9 +321,16 @@ let experiment which quick =
   | "soft" ->
       let s = E.soft_utility_vs_k ~seeds:(if quick then 2 else 5) () in
       Format.printf "%a@." E.pp_series s
+  | "diagnose" ->
+      let table, report = E.diagnostics_demo () in
+      Format.printf
+        "corrupted Fig. 6 tables (%d entries); validator report:@.@.%a@."
+        (Ftes_sched.Table.entry_count table)
+        Ftes_sim.Diagnose.pp_report report
   | other ->
       Format.eprintf
-        "unknown experiment %S (fig1|fig2|fig4|fig5|fig6|fig7|fig8|ablation|soft)@."
+        "unknown experiment %S \
+         (fig1|fig2|fig4|fig5|fig6|fig7|fig8|ablation|soft|diagnose)@."
         other;
       exit 2
 

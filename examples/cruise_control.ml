@@ -145,7 +145,7 @@ let () =
       | None -> ())
   | None -> Format.printf "tables not produced@.");
 
-  match Ftes_core.Synthesis.validate result with
+  match Ftes_core.Synthesis.validate_messages result with
   | [] -> Format.printf "@.fault-injection validation: OK@."
   | vs ->
       List.iter (fun v -> Format.printf "  ! %s@." v) vs;

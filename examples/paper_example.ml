@@ -31,11 +31,11 @@ let () =
 
   (* The transparency requirements: m2, m3 and every copy of P3 keep one
      start time across all 15 fault scenarios. *)
-  (match Ftes_sim.Sim.frozen_start_violations table with
+  (match Ftes_sim.Sim.frozen_start_messages table with
   | [] -> Format.printf "transparency: all frozen start times invariant@."
   | vs -> List.iter (fun v -> Format.printf "  ! %s@." v) vs);
 
-  match Ftes_sim.Sim.validate table with
+  match Ftes_sim.Sim.validate_messages table with
   | [] ->
       Format.printf
         "fault injection: all %d scenarios execute correctly (worst-case \

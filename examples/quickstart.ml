@@ -32,7 +32,7 @@ let () =
   (* 4. Validate by fault injection: every scenario with at most one
      fault must meet the deadline, and frozen items must keep a single
      start time. *)
-  match Ftes_core.Synthesis.validate result with
+  match Ftes_core.Synthesis.validate_messages result with
   | [] -> Format.printf "@.fault-injection validation: OK@."
   | violations ->
       Format.printf "@.validation failed:@.";

@@ -65,6 +65,43 @@ let fig5 () = Ftes_ftcpg.Ftcpg.build (fig5_problem ())
 
 let fig6 () = Ftes_sched.Conditional.schedule (fig5 ())
 
+(* Deterministic corruption of the Fig. 6 tables: the latest-starting
+   dependent execution entry is pulled to time 0, which breaks causality
+   (and usually resource exclusivity) in every scenario reaching it.
+   Exercises the whole diagnostics pipeline on a known instance. *)
+let diagnostics_demo ?jobs () =
+  let module Table = Ftes_sched.Table in
+  let module Ftcpg = Ftes_ftcpg.Ftcpg in
+  let t = fig6 () in
+  let victim =
+    List.fold_left
+      (fun acc (e : Table.entry) ->
+        match e.Table.item with
+        | Table.Exec vid
+          when (Ftcpg.vertex t.Table.ftcpg vid).Ftcpg.preds <> [] -> (
+            match acc with
+            | Some (b : Table.entry) when b.Table.start >= e.Table.start ->
+                acc
+            | _ -> Some e)
+        | _ -> acc)
+      None t.Table.entries
+  in
+  let victim =
+    match victim with
+    | Some v -> v
+    | None -> invalid_arg "diagnostics_demo: fig6 has no dependent entry"
+  in
+  let entries =
+    List.map
+      (fun (e : Table.entry) ->
+        if e == victim then
+          { e with Table.start = 0.; finish = e.Table.finish -. e.Table.start }
+        else e)
+      t.Table.entries
+  in
+  let bad = Table.make ~ftcpg:t.Table.ftcpg ~entries ~tracks:t.Table.tracks in
+  (bad, Ftes_sim.Diagnose.report ?jobs bad)
+
 let k_for_size n = max 3 (min 7 (2 + (n / 20)))
 
 let instance_inputs ~size ~seed =

@@ -38,6 +38,13 @@ val fig6 : unit -> Ftes_sched.Table.t
 (** The schedule tables of Fig. 6, produced by conditional scheduling
     of {!fig5}. *)
 
+val diagnostics_demo :
+  ?jobs:int -> unit -> Ftes_sched.Table.t * Ftes_sim.Diagnose.report
+(** End-to-end demo of the typed diagnostics: the Fig. 6 tables with a
+    deterministic corruption (the latest-starting dependent execution
+    pulled to time 0) together with the grouped, shrunk counterexample
+    report the validator produces for them. *)
+
 val fig7 :
   ?jobs:int ->
   ?seeds_per_point:int ->

@@ -81,10 +81,16 @@ let schedulable t =
       t.estimate.Slack.length
       <= t.problem.Problem.app.App.deadline +. 1e-9
 
-let validate ?jobs t =
+let validate ?jobs ?stop_after t =
   match t.table with
-  | Some table -> Ftes_sim.Sim.validate ?jobs table
+  | Some table -> Ftes_sim.Sim.validate ?jobs ?stop_after table
   | None -> []
+
+let validate_messages ?jobs t =
+  List.map Ftes_sim.Violation.to_string (validate ?jobs t)
+
+let diagnose ?jobs t =
+  Option.map (fun table -> Ftes_sim.Diagnose.report ?jobs table) t.table
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>synthesis: estimated worst-case length %g%s@,"

@@ -66,9 +66,17 @@ val schedulable : t -> bool
 (** True when the produced tables (or, failing that, the estimate) meet
     the application deadline in every scenario. *)
 
-val validate : ?jobs:int -> t -> string list
+val validate : ?jobs:int -> ?stop_after:int -> t -> Ftes_sim.Violation.t list
 (** Fault-injection validation of the schedule tables (empty when no
     tables were produced — the estimate alone cannot be simulated).
-    [jobs] is forwarded to {!Ftes_sim.Sim.validate}. *)
+    [jobs] and [stop_after] are forwarded to {!Ftes_sim.Sim.validate}. *)
+
+val validate_messages : ?jobs:int -> t -> string list
+(** {!validate} rendered with {!Ftes_sim.Violation.to_string} — the
+    historical string API. *)
+
+val diagnose : ?jobs:int -> t -> Ftes_sim.Diagnose.report option
+(** Grouped, shrunk counterexample report of {!validate}; [None] when
+    no tables were produced. *)
 
 val pp : Format.formatter -> t -> unit

@@ -134,7 +134,6 @@ let optimize opts problem =
   let best = ref problem in
   let best_len = ref (objective problem) in
   let current = ref problem in
-  let current_len = ref !best_len in
   let stall = ref 0 in
   (try
      for iter = 1 to opts.iterations do
@@ -165,6 +164,9 @@ let optimize opts problem =
          (function
            | None -> ()
            | Some (mv, cand, len) ->
+               (* Aspiration compares against the global best: a tabu
+                  move is admissible only when it beats the best length
+                  seen so far (not merely the current schedule). *)
                let admissible =
                  (not (is_tabu iter (moved_pid mv)))
                  || len < !best_len -. 1e-9
@@ -181,7 +183,6 @@ let optimize opts problem =
        | None -> incr stall
        | Some (mv, cand, len) ->
            current := cand;
-           current_len := len;
            Hashtbl.replace tabu_until (moved_pid mv) (iter + opts.tenure);
            if len < !best_len -. 1e-9 then begin
              best := cand;

@@ -13,7 +13,7 @@ type outcome = {
   scenario : Cond.guard;
   makespan : float;
   events : event list;
-  violations : string list;
+  violations : Violation.t list;
 }
 
 let eps = 1e-6
@@ -52,7 +52,14 @@ let run table ~scenario =
   let g = app.App.graph in
   let violations = ref [] in
   let events = ref [] in
-  let fail fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  (* The rendered scenario only appears in violation records — don't pay
+     for it on the (hot, overwhelmingly common) clean replays. *)
+  let sname = lazy (scenario_name ftcpg scenario) in
+  let fail kind =
+    violations :=
+      Violation.make ~scenario ~scenario_label:(Lazy.force sname) kind
+      :: !violations
+  in
   let trace time fmt =
     Format.kasprintf (fun what -> events := { time; what } :: !events) fmt
   in
@@ -64,8 +71,7 @@ let run table ~scenario =
     if Cond.implies scenario v.Ftcpg.guard then begin
       match applicable_entry table ~scenario (Table.Exec vid) with
       | None ->
-          fail "vertex %s reachable but has no applicable activation"
-            v.Ftcpg.name
+          fail (Violation.Missing_activation { vid; vertex = v.Ftcpg.name })
       | Some e ->
           (* Ambiguity: another maximally specific column with a
              different start would leave the run-time scheduler with two
@@ -77,9 +83,14 @@ let run table ~scenario =
                 && Cond.size e'.Table.guard = Cond.size e.Table.guard
                 && Float.abs (e'.Table.start -. e.Table.start) > eps
               then
-                fail "vertex %s has ambiguous activations at %g and %g in %s"
-                  v.Ftcpg.name e.Table.start e'.Table.start
-                  (scenario_name ftcpg scenario))
+                fail
+                  (Violation.Ambiguous_activation
+                     {
+                       vid;
+                       vertex = v.Ftcpg.name;
+                       start = e.Table.start;
+                       alt_start = e'.Table.start;
+                     }))
             (Table.entries_of_item table (Table.Exec vid));
           chosen.(vid) <- Some e;
           trace e.Table.start "start %s (until %g)" v.Ftcpg.name e.Table.finish
@@ -98,12 +109,38 @@ let run table ~scenario =
           else begin
             match applicable_entry table ~scenario (Table.Bcast vid) with
             | None ->
-                fail "condition %s is never broadcast"
-                  (Ftcpg.cond_name ftcpg vid)
+                fail
+                  (Violation.Never_broadcast
+                     { vid; cond = Ftcpg.cond_name ftcpg vid })
             | Some b ->
+                (* Mirror of the execution-column ambiguity check: two
+                   maximally specific broadcast columns with different
+                   times contradict each other at run time. *)
+                List.iter
+                  (fun (b' : Table.entry) ->
+                    if
+                      Cond.implies scenario b'.Table.guard
+                      && Cond.size b'.Table.guard = Cond.size b.Table.guard
+                      && Float.abs (b'.Table.start -. b.Table.start) > eps
+                    then
+                      fail
+                        (Violation.Ambiguous_broadcast
+                           {
+                             vid;
+                             cond = Ftcpg.cond_name ftcpg vid;
+                             start = b.Table.start;
+                             alt_start = b'.Table.start;
+                           }))
+                  (Table.entries_of_item table (Table.Bcast vid));
                 if b.Table.start < e.Table.finish -. eps then
-                  fail "condition %s broadcast at %g before it is produced at %g"
-                    (Ftcpg.cond_name ftcpg vid) b.Table.start e.Table.finish;
+                  fail
+                    (Violation.Broadcast_before_produced
+                       {
+                         vid;
+                         cond = Ftcpg.cond_name ftcpg vid;
+                         bcast_start = b.Table.start;
+                         produced = e.Table.finish;
+                       });
                 Hashtbl.replace bcast_finish vid b.Table.finish;
                 trace b.Table.start "broadcast %s" (Ftcpg.cond_name ftcpg vid)
           end
@@ -120,10 +157,16 @@ let run table ~scenario =
             match chosen.(p) with
             | Some pe ->
                 if e.Table.start < pe.Table.finish -. eps then
-                  fail "%s starts at %g before predecessor %s finishes at %g (%s)"
-                    v.Ftcpg.name e.Table.start
-                    (Ftcpg.vertex ftcpg p).Ftcpg.name pe.Table.finish
-                    (scenario_name ftcpg scenario)
+                  fail
+                    (Violation.Causality
+                       {
+                         vid;
+                         vertex = v.Ftcpg.name;
+                         start = e.Table.start;
+                         pred = p;
+                         pred_name = (Ftcpg.vertex ftcpg p).Ftcpg.name;
+                         pred_finish = pe.Table.finish;
+                       })
             | None -> ())
           v.Ftcpg.preds;
         let decision_node =
@@ -145,10 +188,15 @@ let run table ~scenario =
                     | Some bf ->
                         if e.Table.start < bf -. eps then
                           fail
-                            "%s starts at %g before learning %s (broadcast \
-                             finishes at %g)"
-                            v.Ftcpg.name e.Table.start
-                            (Ftcpg.cond_name ftcpg l.Cond.cond) bf
+                            (Violation.Distributed_knowledge
+                               {
+                                 vid;
+                                 vertex = v.Ftcpg.name;
+                                 start = e.Table.start;
+                                 cond_vid = l.Cond.cond;
+                                 cond = Ftcpg.cond_name ftcpg l.Cond.cond;
+                                 learned = bf;
+                               })
                     | None -> ())))
           (Cond.literals v.Ftcpg.guard);
         (* Release times. *)
@@ -156,8 +204,14 @@ let run table ~scenario =
         | Ftcpg.Proc_copy { pid; _ } ->
             let r = (Graph.process g pid).Graph.release in
             if e.Table.start < r -. eps then
-              fail "%s starts at %g before its release %g" v.Ftcpg.name
-                e.Table.start r
+              fail
+                (Violation.Release
+                   {
+                     vid;
+                     vertex = v.Ftcpg.name;
+                     start = e.Table.start;
+                     release = r;
+                   })
         | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ -> ())
   done;
   (* Resource exclusivity. *)
@@ -190,10 +244,14 @@ let run table ~scenario =
           (fun (vid', e') ->
             match (lane_of vid e, lane_of vid' e') with
             | Some l, Some l' when l = l' && overlap e e' ->
-                fail "%s and %s overlap on the same resource in %s"
-                  (Ftcpg.vertex ftcpg vid).Ftcpg.name
-                  (Ftcpg.vertex ftcpg vid').Ftcpg.name
-                  (scenario_name ftcpg scenario)
+                fail
+                  (Violation.Resource_overlap
+                     {
+                       vid;
+                       vertex = (Ftcpg.vertex ftcpg vid).Ftcpg.name;
+                       other_vid = vid';
+                       other = (Ftcpg.vertex ftcpg vid').Ftcpg.name;
+                     })
             | _ -> ())
           rest;
         pairs rest
@@ -207,8 +265,9 @@ let run table ~scenario =
       0. chosen
   in
   if makespan > app.App.deadline +. eps then
-    fail "deadline %g missed: completion %g in %s" app.App.deadline makespan
-      (scenario_name ftcpg scenario);
+    fail
+      (Violation.Deadline_missed
+         { deadline = app.App.deadline; completion = makespan });
   Array.iter
     (fun (p : Graph.process) ->
       match p.Graph.local_deadline with
@@ -224,9 +283,14 @@ let run table ~scenario =
               (Ftcpg.proc_copies ftcpg ~pid:p.Graph.pid)
           in
           if completion > d +. eps then
-            fail "%s misses local deadline %g (completes %g) in %s"
-              p.Graph.pname d completion
-              (scenario_name ftcpg scenario))
+            fail
+              (Violation.Local_deadline_missed
+                 {
+                   pid = p.Graph.pid;
+                   process = p.Graph.pname;
+                   deadline = d;
+                   completion;
+                 }))
     (Graph.processes g);
   {
     scenario;
@@ -245,12 +309,9 @@ let frozen_start_violations table =
         | [] | [ _ ] -> ()
         | starts ->
             violations :=
-              Format.asprintf
-                "frozen vertex %s has several start times: %a" v.Ftcpg.name
-                (Format.pp_print_list
-                   ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-                   Format.pp_print_float)
-                starts
+              Violation.make
+                (Violation.Frozen_drift
+                   { vid = v.Ftcpg.vid; vertex = v.Ftcpg.name; starts })
               :: !violations
       end)
     (Ftcpg.vertices ftcpg);
@@ -259,32 +320,72 @@ let frozen_start_violations table =
 (* Scenarios replay independently: fan them over the domain pool. The
    ordered merge keeps the violation list byte-identical to the
    sequential run for every [jobs] value. *)
-let validate ?jobs table =
-  let scenarios = Ftcpg.scenarios table.Table.ftcpg in
-  let per_scenario =
-    Ftes_util.Par.concat_map ?jobs
-      (fun s -> (run table ~scenario:s).violations)
-      scenarios
-  in
-  per_scenario @ frozen_start_violations table
-
-let validate_sampled ?jobs ~rng ~samples table =
-  let scenarios = Ftcpg.scenarios table.Table.ftcpg in
-  let no_fault =
-    List.filter (fun s -> Cond.fault_count s = 0) scenarios
-  in
-  let sampled = Ftes_util.Rng.sample rng samples scenarios in
-  let chosen = List.sort_uniq Cond.compare (no_fault @ sampled) in
+let replay ?jobs table scenarios =
   Ftes_util.Par.concat_map ?jobs
     (fun s -> (run table ~scenario:s).violations)
-    chosen
-  @ frozen_start_violations table
+    scenarios
+
+(* Early-exit replay: scenarios are consumed in fixed-size batches (the
+   batch size does not depend on [jobs], so the result stays identical
+   for every [jobs] value) and replay stops at the end of the first
+   batch that pushes the violation count to [limit]. The result is a
+   prefix of the exhaustive per-scenario violation list. *)
+let batch_size = 32
+
+let rec take n = function
+  | x :: rest when n > 0 ->
+      let a, b = take (n - 1) rest in
+      (x :: a, b)
+  | rest -> ([], rest)
+
+let replay_until ?jobs ~limit table scenarios =
+  let rec go acc found scenarios =
+    if found >= limit || scenarios = [] then List.concat (List.rev acc)
+    else begin
+      let batch, rest = take batch_size scenarios in
+      let vs = replay ?jobs table batch in
+      go (vs :: acc) (found + List.length vs) rest
+    end
+  in
+  go [] 0 scenarios
+
+let check_scenarios ?jobs ?stop_after table scenarios =
+  match stop_after with
+  | Some limit when limit > 0 ->
+      let vs = replay_until ?jobs ~limit table scenarios in
+      (* The transparency check only runs when scenario replay did not
+         already prove the table bad. *)
+      if List.length vs >= limit then vs
+      else vs @ frozen_start_violations table
+  | _ -> replay ?jobs table scenarios @ frozen_start_violations table
+
+let validate ?jobs ?stop_after table =
+  check_scenarios ?jobs ?stop_after table (Ftcpg.scenarios table.Table.ftcpg)
+
+let validate_sampled ?jobs ?stop_after ~rng ~samples table =
+  let scenarios = Ftcpg.scenarios table.Table.ftcpg in
+  let no_fault = List.filter (fun s -> Cond.fault_count s = 0) scenarios in
+  let sampled = Ftes_util.Rng.sample rng samples scenarios in
+  let chosen = List.sort_uniq Cond.compare (no_fault @ sampled) in
+  check_scenarios ?jobs ?stop_after table chosen
+
+(* String-compatible wrappers: the historical API, used by the ordered-
+   merge determinism tests and by log-oriented callers. *)
+let messages = List.map Violation.to_string
+let validate_messages ?jobs table = messages (validate ?jobs table)
+
+let validate_sampled_messages ?jobs ~rng ~samples table =
+  messages (validate_sampled ?jobs ~rng ~samples table)
+
+let frozen_start_messages table = messages (frozen_start_violations table)
 
 let pp_outcome ppf o =
   Format.fprintf ppf "@[<v>scenario faults=%d makespan=%g%s@,"
     (Cond.fault_count o.scenario)
     o.makespan
     (if o.violations = [] then "" else "  VIOLATIONS:");
-  List.iter (fun v -> Format.fprintf ppf "  ! %s@," v) o.violations;
+  List.iter
+    (fun v -> Format.fprintf ppf "  ! %s@," (Violation.to_string v))
+    o.violations;
   List.iter (fun e -> Format.fprintf ppf "  %8.1f %s@," e.time e.what) o.events;
   Format.fprintf ppf "@]"

@@ -16,7 +16,9 @@
 
     - every FT-CPG vertex reachable in the scenario has exactly one
       applicable activation, selected like the run-time scheduler does
-      (the most specific table column whose guard holds);
+      (the most specific table column whose guard holds) — and, per
+      item, no two maximally specific columns disagree on the time
+      (execution {e and} broadcast columns);
     - causality: an activation never precedes the completion of its
       predecessors in that scenario;
     - distributed knowledge: an activation whose guard tests a remote
@@ -25,7 +27,11 @@
       transmissions overlap on the bus (per TDMA lane);
     - transparency: frozen vertices start at the same time in every
       scenario;
-    - deadlines: global and local, in every scenario. *)
+    - deadlines: global and local, in every scenario.
+
+    Findings are reported as typed {!Violation.t} records (see
+    {!Diagnose} for shrinking and grouping); the [*_messages] wrappers
+    retain the historical string renderings byte for byte. *)
 
 type event = {
   time : float;
@@ -36,13 +42,14 @@ type outcome = {
   scenario : Ftes_ftcpg.Cond.guard;
   makespan : float;
   events : event list;  (** Chronological trace. *)
-  violations : string list;  (** Empty iff the scenario executed
-                                 correctly. *)
+  violations : Violation.t list;  (** Empty iff the scenario executed
+                                      correctly. *)
 }
 
 val run : Ftes_sched.Table.t -> scenario:Ftes_ftcpg.Cond.guard -> outcome
 
-val validate : ?jobs:int -> Ftes_sched.Table.t -> string list
+val validate :
+  ?jobs:int -> ?stop_after:int -> Ftes_sched.Table.t -> Violation.t list
 (** Run every fault scenario (exhaustive — exponential in [k]) plus the
     cross-scenario transparency check; returns all violations.
 
@@ -50,21 +57,43 @@ val validate : ?jobs:int -> Ftes_sched.Table.t -> string list
     ([Ftes_util.Par.default_jobs ()] when omitted; [1] is the exact
     sequential code path) and the per-scenario violations are merged in
     scenario order, so the result is byte-identical for every [jobs]
-    value. *)
+    value.
+
+    [stop_after] enables early exit for callers that only need to know
+    a table is bad (e.g. optimization loops): replay proceeds in
+    fixed-size scenario batches and stops at the end of the first batch
+    that reaches [stop_after] violations. The result is then a
+    non-empty prefix of the exhaustive violation list (the transparency
+    check is skipped once the table is known-bad), and is still
+    independent of [jobs]. *)
 
 val validate_sampled :
   ?jobs:int ->
+  ?stop_after:int ->
   rng:Ftes_util.Rng.t ->
   samples:int ->
   Ftes_sched.Table.t ->
-  string list
+  Violation.t list
 (** Like {!validate} on a random subset of scenarios (for larger
     instances). The fault-free scenario is always included, so a
     violation-free sampled run at least certifies the nominal
     schedule. Every reported violation is one {!validate} would also
     report — sampling only reduces coverage, never adds noise. *)
 
-val frozen_start_violations : Ftes_sched.Table.t -> string list
+val frozen_start_violations : Ftes_sched.Table.t -> Violation.t list
 (** Only the cross-scenario transparency check. *)
+
+val validate_messages : ?jobs:int -> Ftes_sched.Table.t -> string list
+(** [List.map Violation.to_string (validate ?jobs t)] — the pre-typed
+    string API, byte-identical to the historical renderings. *)
+
+val validate_sampled_messages :
+  ?jobs:int ->
+  rng:Ftes_util.Rng.t ->
+  samples:int ->
+  Ftes_sched.Table.t ->
+  string list
+
+val frozen_start_messages : Ftes_sched.Table.t -> string list
 
 val pp_outcome : Format.formatter -> outcome -> unit

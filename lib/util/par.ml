@@ -54,15 +54,18 @@ let map_array ?jobs f input =
     Array.map (function Some y -> y | None -> assert false) results
   end
 
+(* One list-to-array conversion up front; its length then serves the
+   pool-size decision and the parallel path reuses the same array, so
+   the input list is traversed exactly once on either path. *)
 let map ?jobs f xs =
-  let n = List.length xs in
-  if effective_jobs ?jobs n <= 1 then List.map f xs
-  else Array.to_list (map_array ?jobs f (Array.of_list xs))
+  let input = Array.of_list xs in
+  if effective_jobs ?jobs (Array.length input) <= 1 then List.map f xs
+  else Array.to_list (map_array ?jobs f input)
 
 let concat_map ?jobs f xs =
-  let n = List.length xs in
-  if effective_jobs ?jobs n <= 1 then List.concat_map f xs
-  else List.concat (Array.to_list (map_array ?jobs f (Array.of_list xs)))
+  let input = Array.of_list xs in
+  if effective_jobs ?jobs (Array.length input) <= 1 then List.concat_map f xs
+  else List.concat (Array.to_list (map_array ?jobs f input))
 
 let init ?jobs n f =
   if effective_jobs ?jobs n <= 1 then List.init n f

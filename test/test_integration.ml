@@ -45,7 +45,7 @@ let test_fig4_cases () =
 let test_fig6_schedule () =
   let t = Experiments.fig6 () in
   Alcotest.(check bool) "meets deadline" true (Table.meets_deadline t);
-  Alcotest.(check (list string)) "validates" [] (Sim.validate t)
+  Alcotest.(check (list string)) "validates" [] (Sim.validate_messages t)
 
 (* ------------------------------------------------------------------ *)
 (* Synthesis end to end                                                *)
@@ -68,7 +68,7 @@ let test_synthesize_fig3_all_strategies () =
       Alcotest.(check bool) (name ^ " has fto") true
         (result.Synthesis.fto <> None);
       Alcotest.(check (list string)) (name ^ " validates") []
-        (Synthesis.validate result))
+        (Synthesis.validate_messages result))
     [ Strategy.MXR; Strategy.MX; Strategy.SFX; Strategy.MC_global ]
 
 let test_synthesize_of_problem () =
@@ -116,7 +116,8 @@ let test_merged_application_synthesis () =
   done;
   let result = Synthesis.synthesize ~app ~arch ~wcet ~k:1 () in
   Alcotest.(check bool) "schedulable" true (Synthesis.schedulable result);
-  Alcotest.(check (list string)) "validates" [] (Synthesis.validate result);
+  Alcotest.(check (list string)) "validates" []
+    (Synthesis.validate_messages result);
   (* Local deadlines of the short application's instances are enforced
      by the validation above; check they exist. *)
   let g = app.Ftes_app.App.graph in

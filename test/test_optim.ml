@@ -126,6 +126,51 @@ let test_tabu_respects_nft_objective () =
   let best, best_len = Tabu.optimize opts p in
   Helpers.check_float "nft objective" (Slack.length ~ft:false best) best_len
 
+(* Aspiration semantics: a tabu move is admissible when it beats the
+   global best. One process on three nodes (WCET 30/20/10), starting on
+   the slowest, an effectively infinite tenure and one candidate move
+   per iteration: after the first accepted move the process is tabu for
+   the rest of the search, so reaching the fastest node — from any
+   intermediate state, under any draw order — requires aspiration. *)
+let test_tabu_aspiration_by_global_best () =
+  let b = Ftes_app.Graph.Builder.create () in
+  let _pid = Ftes_app.Graph.Builder.add_process b ~name:"P1" in
+  let graph = Ftes_app.Graph.Builder.build b in
+  let app = Ftes_app.App.make ~graph ~deadline:1000. ~period:1000. () in
+  let arch =
+    Ftes_arch.Arch.make ~node_count:3
+      ~bus:(Ftes_arch.Arch.default_bus ~node_count:3)
+      ()
+  in
+  let wcet = Ftes_arch.Wcet.create ~procs:1 ~nodes:3 in
+  List.iteri (fun nid c -> Ftes_arch.Wcet.set wcet ~pid:0 ~nid c)
+    [ 30.; 20.; 10. ];
+  let policies = Problem.default_policies ~app ~k:1 in
+  let p =
+    Problem.make ~app ~arch ~wcet ~k:1 ~policies
+      ~mapping:(Mapping.of_array [| [| 0 |] |])
+  in
+  let opts =
+    {
+      Tabu.default_options with
+      iterations = 60;
+      sample = 1;
+      tenure = 1000;
+      stall_limit = 1000;
+      policy_moves = false;
+      remap_moves = true;
+      jobs = 1;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let best, _ = Tabu.optimize { opts with seed } p in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d settles on the fastest node" seed)
+        2
+        (Mapping.node_of best.Problem.mapping ~pid:0 ~copy:0))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
 let test_reassign_policy () =
   let p = Helpers.fig3_problem ~k:2 in
   let p' = Tabu.reassign_policy ~k:2 ~wcet:p.Problem.wcet p ~pid:0 Tabu.Repl in
@@ -247,6 +292,8 @@ let () =
             test_tabu_improves_or_equals;
           Alcotest.test_case "nft objective" `Quick
             test_tabu_respects_nft_objective;
+          Alcotest.test_case "aspiration by global best" `Quick
+            test_tabu_aspiration_by_global_best;
           Alcotest.test_case "reassign policy" `Quick test_reassign_policy;
           Alcotest.test_case "policy sweep" `Quick test_descent_policy_sweep;
           Alcotest.test_case "remap sweep" `Quick test_descent_remap_sweep;

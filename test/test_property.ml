@@ -73,7 +73,8 @@ let test_oracle () =
           if violations <> [] then
             Alcotest.failf
               "oracle spec %s: %d violation(s), first: %s" (describe s)
-              (List.length violations) (List.hd violations))
+              (List.length violations)
+              (Ftes_sim.Violation.to_string (List.hd violations)))
     specs;
   (* The oracle is only meaningful if a healthy share of the specs
      actually reached conditional scheduling. *)

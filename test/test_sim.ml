@@ -3,6 +3,8 @@
    violation is detected. *)
 
 module Sim = Ftes_sim.Sim
+module Violation = Ftes_sim.Violation
+module Diagnose = Ftes_sim.Diagnose
 module Table = Ftes_sched.Table
 module Conditional = Ftes_sched.Conditional
 module Ftcpg = Ftes_ftcpg.Ftcpg
@@ -11,7 +13,8 @@ module Cond = Ftes_ftcpg.Cond
 let fig5_table () = Conditional.schedule (Ftcpg.build (Helpers.fig5_problem ()))
 
 let test_fig5_validates () =
-  Alcotest.(check (list string)) "no violations" [] (Sim.validate (fig5_table ()))
+  Alcotest.(check (list string)) "no violations" []
+    (Sim.validate_messages (fig5_table ()))
 
 let test_run_no_fault () =
   let t = fig5_table () in
@@ -21,7 +24,8 @@ let test_run_no_fault () =
       (Ftcpg.scenarios t.Table.ftcpg)
   in
   let o = Sim.run t ~scenario in
-  Alcotest.(check (list string)) "clean" [] o.Sim.violations;
+  Alcotest.(check (list string)) "clean" []
+    (List.map Violation.to_string o.Sim.violations);
   Helpers.check_float "makespan = fault-free length" (Table.no_fault_length t)
     o.Sim.makespan;
   Alcotest.(check bool) "has events" true (o.Sim.events <> [])
@@ -82,6 +86,10 @@ let test_detects_missing_activation () =
     (List.exists
        (fun v ->
          Astring_contains.contains v "no applicable activation")
+       (Sim.validate_messages bad));
+  Alcotest.(check bool) "typed kind" true
+    (List.exists
+       (fun v -> Violation.kind_label v = "missing-activation")
        (Sim.validate bad))
 
 let test_detects_overlap () =
@@ -144,13 +152,13 @@ let test_detects_deadline_miss () =
   Alcotest.(check bool) "deadline miss caught" true
     (List.exists
        (fun v -> Astring_contains.contains v "deadline")
-       (Sim.validate t_tight))
+       (Sim.validate_messages t_tight))
 
 let test_validate_sampled () =
   let t = fig5_table () in
   let rng = Ftes_util.Rng.create 1 in
   Alcotest.(check (list string)) "sampled clean" []
-    (Sim.validate_sampled ~rng ~samples:5 t)
+    (Sim.validate_sampled_messages ~rng ~samples:5 t)
 
 (* Fig. 5 rescheduled under a deadline below its fault-free completion:
    every scenario (including the nominal one) misses the deadline, which
@@ -173,7 +181,7 @@ let test_sampled_includes_fault_free () =
   (* Zero samples: only the always-included fault-free scenario is
      replayed, and it must report the nominal deadline miss. *)
   let sampled =
-    Sim.validate_sampled ~rng:(Ftes_util.Rng.create 7) ~samples:0 t
+    Sim.validate_sampled_messages ~rng:(Ftes_util.Rng.create 7) ~samples:0 t
   in
   Alcotest.(check bool) "fault-free deadline miss reported" true
     (List.exists (fun v -> Astring_contains.contains v "deadline") sampled)
@@ -191,6 +199,195 @@ let test_sampled_subset_of_exhaustive () =
         true
         (List.for_all (fun v -> List.mem v exhaustive) sampled))
     [ 1; 2; 3; 4; 5 ]
+
+(* Regression: a second broadcast column with the same guard but a
+   different time must be flagged as ambiguous, exactly like the
+   execution-column check (it used to slip through: broadcasts are
+   invisible to the resource-overlap check, and a later duplicate does
+   not precede production). *)
+let test_detects_bcast_ambiguity () =
+  let t = fig5_table () in
+  let bcast =
+    List.find_opt
+      (fun e ->
+        match e.Table.item with Table.Bcast _ -> true | Table.Exec _ -> false)
+      t.Table.entries
+  in
+  match bcast with
+  | None -> Alcotest.fail "fig5 table has no broadcast entry"
+  | Some b ->
+      let dup =
+        { b with Table.start = b.Table.start +. 5.;
+          finish = b.Table.finish +. 5. }
+      in
+      let bad =
+        Table.make ~ftcpg:t.Table.ftcpg ~entries:(dup :: t.Table.entries)
+          ~tracks:t.Table.tracks
+      in
+      let vs = Sim.validate bad in
+      Alcotest.(check bool) "ambiguous broadcast caught" true
+        (List.exists
+           (fun v -> Violation.kind_label v = "ambiguous-broadcast")
+           vs);
+      Alcotest.(check bool) "message mentions ambiguous broadcasts" true
+        (List.exists
+           (fun m -> Astring_contains.contains m "ambiguous broadcasts")
+           (List.map Violation.to_string vs))
+
+(* The typed layer must render the historical strings byte for byte. *)
+let test_deadline_message_byte_identical () =
+  let t = tight_fig5_table () in
+  let f = t.Table.ftcpg in
+  let scenario =
+    List.find (fun s -> Cond.fault_count s = 0) (Ftcpg.scenarios f)
+  in
+  let o = Sim.run t ~scenario in
+  let deadline =
+    (Ftcpg.problem f).Ftes_ftcpg.Problem.app.Ftes_app.App.deadline
+  in
+  let expected =
+    Printf.sprintf "deadline %g missed: completion %g in %s" deadline
+      o.Sim.makespan
+      (Cond.to_string ~name:(Ftcpg.cond_name f) scenario)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pinned rendering %S" expected)
+    true
+    (List.mem expected (List.map Violation.to_string o.Sim.violations))
+
+let test_frozen_message_byte_identical () =
+  let t = fig5_table () in
+  let f = t.Table.ftcpg in
+  let frozen_vid =
+    Array.to_list (Ftcpg.vertices f)
+    |> List.find_map (fun v ->
+           if v.Ftcpg.frozen && v.Ftcpg.duration > 0. then Some v.Ftcpg.vid
+           else None)
+    |> Option.get
+  in
+  let entry =
+    List.find (fun e -> e.Table.item = Table.Exec frozen_vid) t.Table.entries
+  in
+  let shifted = { entry with Table.start = entry.Table.start +. 7.;
+                  finish = entry.Table.finish +. 7. } in
+  let bad =
+    Table.make ~ftcpg:f ~entries:(shifted :: t.Table.entries)
+      ~tracks:t.Table.tracks
+  in
+  let expected =
+    Format.asprintf "frozen vertex %s has several start times: %a"
+      (Ftcpg.vertex f frozen_vid).Ftcpg.name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_float)
+      (Table.starts_of_vertex bad frozen_vid)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pinned rendering %S" expected)
+    true
+    (List.mem expected (Sim.frozen_start_messages bad))
+
+let test_violation_json () =
+  let t = tight_fig5_table () in
+  match Sim.validate t with
+  | [] -> Alcotest.fail "tight table should fail validation"
+  | v :: _ as vs ->
+      let j = Violation.to_json v in
+      Alcotest.(check bool) "json has kind" true
+        (Astring_contains.contains j
+           (Printf.sprintf "\"kind\": \"%s\"" (Violation.kind_label v)));
+      Alcotest.(check bool) "json has message" true
+        (Astring_contains.contains j "\"message\": ");
+      let arr = Violation.list_to_json vs in
+      Alcotest.(check bool) "array brackets" true
+        (String.length arr >= 2 && arr.[0] = '[' && arr.[String.length arr - 1] = ']')
+
+(* --- Counterexample shrinking ------------------------------------- *)
+
+let test_shrink_minimizes () =
+  let t = tight_fig5_table () in
+  let scenario =
+    (* A maximal-fault scenario: plenty of literals to drop. *)
+    List.fold_left
+      (fun acc s ->
+        if Cond.fault_count s > Cond.fault_count acc then s else acc)
+      (List.hd (Ftcpg.scenarios t.Table.ftcpg))
+      (Ftcpg.scenarios t.Table.ftcpg)
+  in
+  Alcotest.(check bool) "scenario fails to begin with" true
+    ((Sim.run t ~scenario).Sim.violations <> []);
+  let shrunk = Diagnose.shrink t ~scenario in
+  Alcotest.(check bool) "shrunk still fails" true
+    ((Sim.run t ~scenario:shrunk).Sim.violations <> []);
+  Alcotest.(check bool) "fault count did not grow" true
+    (Cond.fault_count shrunk <= Cond.fault_count scenario);
+  Alcotest.(check bool) "literals are a subset" true
+    (List.for_all
+       (fun l -> List.mem l (Cond.literals scenario))
+       (Cond.literals shrunk))
+
+let test_shrink_keeps_passing_scenario () =
+  let t = fig5_table () in
+  let scenario = List.hd (Ftcpg.scenarios t.Table.ftcpg) in
+  Alcotest.(check bool) "unchanged when not failing" true
+    (Cond.equal scenario (Diagnose.shrink t ~scenario))
+
+let test_diagnose_report () =
+  let t = tight_fig5_table () in
+  let r = Diagnose.report t in
+  Alcotest.(check int) "total = exhaustive count"
+    (List.length (Sim.validate t))
+    r.Diagnose.total;
+  Alcotest.(check bool) "has groups" true (r.Diagnose.groups <> []);
+  Alcotest.(check int) "group counts sum to total" r.Diagnose.total
+    (List.fold_left (fun acc g -> acc + g.Diagnose.count) 0 r.Diagnose.groups);
+  List.iter
+    (fun g ->
+      Alcotest.(check string) "example matches group kind" g.Diagnose.kind
+        (Violation.kind_label g.Diagnose.example);
+      match (g.Diagnose.shrunk, g.Diagnose.example.Violation.scenario) with
+      | Some shrunk, Some original ->
+          Alcotest.(check bool) "shrunk still fails" true
+            ((Sim.run t ~scenario:shrunk).Sim.violations <> []);
+          Alcotest.(check bool) "shrunk fault count <= original" true
+            (Cond.fault_count shrunk <= Cond.fault_count original)
+      | _ -> ())
+    r.Diagnose.groups;
+  (* The human-readable rendering must at least mention every group. *)
+  let rendered = Format.asprintf "%a" Diagnose.pp_report r in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report mentions %s" g.Diagnose.kind)
+        true
+        (Astring_contains.contains rendered g.Diagnose.kind))
+    r.Diagnose.groups
+
+(* --- stop_after --------------------------------------------------- *)
+
+let test_stop_after_prefix () =
+  let t = tight_fig5_table () in
+  Alcotest.(check (list string)) "no frozen drift on the tight table" []
+    (Sim.frozen_start_messages t);
+  let full = Sim.validate t in
+  let partial = Sim.validate ~stop_after:1 t in
+  Alcotest.(check bool) "non-empty" true (partial <> []);
+  Alcotest.(check bool) "prefix of the exhaustive list" true
+    (List.length partial <= List.length full
+    && List.for_all2
+         (fun a b -> a = b)
+         partial
+         (List.filteri (fun i _ -> i < List.length partial) full));
+  let m1 = List.map Violation.to_string (Sim.validate ~jobs:1 ~stop_after:1 t)
+  and m4 =
+    List.map Violation.to_string (Sim.validate ~jobs:4 ~stop_after:1 t)
+  in
+  Alcotest.(check (list string)) "jobs-independent" m1 m4
+
+let test_stop_after_clean_table () =
+  let t = fig5_table () in
+  Alcotest.(check (list string)) "clean table stays clean" []
+    (List.map Violation.to_string (Sim.validate ~stop_after:1 t))
 
 (* Fuzz: random mixed-policy instances must always validate. *)
 let sim_props =
@@ -239,6 +436,29 @@ let () =
           Alcotest.test_case "frozen violation" `Quick
             test_detects_frozen_violation;
           Alcotest.test_case "deadline miss" `Quick test_detects_deadline_miss;
+          Alcotest.test_case "broadcast ambiguity" `Quick
+            test_detects_bcast_ambiguity;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "deadline rendering pinned" `Quick
+            test_deadline_message_byte_identical;
+          Alcotest.test_case "frozen rendering pinned" `Quick
+            test_frozen_message_byte_identical;
+          Alcotest.test_case "json rendering" `Quick test_violation_json;
+        ] );
+      ( "diagnose",
+        [
+          Alcotest.test_case "shrink minimizes" `Quick test_shrink_minimizes;
+          Alcotest.test_case "shrink keeps passing scenario" `Quick
+            test_shrink_keeps_passing_scenario;
+          Alcotest.test_case "grouped report" `Quick test_diagnose_report;
+        ] );
+      ( "stop-after",
+        [
+          Alcotest.test_case "prefix of exhaustive" `Quick
+            test_stop_after_prefix;
+          Alcotest.test_case "clean table" `Quick test_stop_after_clean_table;
         ] );
       ("fuzz", sim_props);
     ]

@@ -58,6 +58,32 @@ let test_rng_pick_empty () =
   Alcotest.check_raises "pick_list []" (Invalid_argument "Rng.pick_list: empty list")
     (fun () -> ignore (Rng.pick_list rng []))
 
+let test_rng_sample_edges () =
+  let rng = Rng.create 5 in
+  Alcotest.(check (list int)) "empty population" [] (Rng.sample rng 5 []);
+  Alcotest.(check (list int)) "zero draws" [] (Rng.sample rng 0 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "n > population is a permutation" [ 1; 2; 3 ]
+    (List.sort compare (Rng.sample rng 50 [ 1; 2; 3 ]));
+  Alcotest.(check (list int)) "n = population is a permutation" [ 1; 2; 3 ]
+    (List.sort compare (Rng.sample rng 3 [ 1; 2; 3 ]))
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 32 do
+    Alcotest.(check bool) "p = 0. never" false (Rng.chance rng 0.);
+    Alcotest.(check bool) "p = 1. always" true (Rng.chance rng 1.)
+  done
+
+let test_rng_chance_stream_alignment () =
+  (* chance consumes exactly one draw regardless of [p], so varying the
+     probability must not shift the stream seen by later draws. *)
+  let a = Rng.create 11 and b = Rng.create 11 in
+  ignore (Rng.chance a 0.);
+  ignore (Rng.chance b 1.);
+  Alcotest.(check bool) "stream aligned after chance" true
+    (List.init 8 (fun _ -> Rng.bits64 a)
+    = List.init 8 (fun _ -> Rng.bits64 b))
+
 let rng_props =
   [
     Helpers.qtest "int bound respected"
@@ -228,6 +254,10 @@ let () =
           Alcotest.test_case "split" `Quick test_rng_split;
           Alcotest.test_case "shuffle multiset" `Quick test_rng_shuffle_multiset;
           Alcotest.test_case "sample" `Quick test_rng_sample;
+          Alcotest.test_case "sample edge cases" `Quick test_rng_sample_edges;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "chance stream alignment" `Quick
+            test_rng_chance_stream_alignment;
           Alcotest.test_case "pick empty" `Quick test_rng_pick_empty;
         ]
         @ rng_props );
