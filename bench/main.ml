@@ -11,7 +11,9 @@
 
    Timing of every sweep (jobs, wall seconds, scenarios/s where
    applicable) plus one per-phase wall-clock record is written as a
-   JSON array, BENCH_PR2.json by default.
+   JSON array, BENCH_PR3.json by default. The "cache" section compares
+   a tabu-driven strategy run with and without the memoized
+   design-evaluation cache (Evalcache) and records the hit rate.
 *)
 
 module E = Ftes_core.Experiments
@@ -38,13 +40,13 @@ let jobs =
           Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
             s;
           exit 2)
-let json_path = flag_value "--json" "BENCH_PR2.json" Fun.id
+let json_path = flag_value "--json" "BENCH_PR3.json" Fun.id
 
 let selected =
   let wanted =
     Array.to_list Sys.argv
     |> List.filter (fun a ->
-           a = "ablation" || a = "validation"
+           a = "ablation" || a = "validation" || a = "cache"
            || (String.length a > 3 && String.sub a 0 3 = "fig"))
   in
   fun name -> wanted = [] || List.mem name wanted
@@ -253,6 +255,78 @@ let run_validation_scaling () =
     job_counts
 
 (* ------------------------------------------------------------------ *)
+(* Evaluation-cache sweep: cached vs uncached tabu-driven synthesis    *)
+(* ------------------------------------------------------------------ *)
+
+let run_cache_bench () =
+  section
+    "Evaluation cache - Fig. 7 strategy sweep with and without Evalcache\n\
+     (nft baseline + MXR + MR + SFX + MX on one instance, sharing one\n\
+     cache, as Experiments.fig7 does per seed: MXR's mapping phase\n\
+     replays the MX search and SFX replays the baseline search, so the\n\
+     cache serves those re-runs from memory; identical outcomes by\n\
+     construction)";
+  let processes = if quick then 15 else 30 in
+  let app, arch, wcet =
+    Ftes_workload.Gen.instance
+      { Ftes_workload.Gen.default with processes; nodes = 3; seed = 23 }
+  in
+  let inputs = { Ftes_optim.Strategy.app; arch; wcet; k = 3 } in
+  let opts =
+    {
+      Ftes_optim.Tabu.default_options with
+      Ftes_optim.Tabu.iterations = (if quick then 30 else 80);
+      jobs;
+    }
+  in
+  let names =
+    Ftes_optim.Strategy.[ MXR; MR; SFX; MX ]
+  in
+  let time_run cache =
+    let opts = { opts with Ftes_optim.Tabu.cache } in
+    let t0 = Unix.gettimeofday () in
+    let nft = Ftes_optim.Strategy.nft_length ~opts inputs in
+    let outcomes =
+      List.map (fun n -> Ftes_optim.Strategy.run ~opts ~nft inputs n) names
+    in
+    (outcomes, Unix.gettimeofday () -. t0)
+  in
+  let uncached, wall_uncached = time_run None in
+  let cache = Ftes_optim.Evalcache.create () in
+  let cached, wall_cached = time_run (Some cache) in
+  let stats = Ftes_optim.Evalcache.stats cache in
+  let identical =
+    List.for_all2
+      (fun (u : Ftes_optim.Strategy.outcome) (c : Ftes_optim.Strategy.outcome) ->
+        u.Ftes_optim.Strategy.length = c.Ftes_optim.Strategy.length
+        && Ftes_optim.Evalcache.signature u.Ftes_optim.Strategy.problem
+           = Ftes_optim.Evalcache.signature c.Ftes_optim.Strategy.problem)
+      uncached cached
+  in
+  Printf.printf
+    "  instance: %d processes, 3 nodes, k=3; %d tabu iterations, %d job(s)\n"
+    processes opts.Ftes_optim.Tabu.iterations jobs;
+  Printf.printf "  uncached: %8.3f s\n" wall_uncached;
+  Printf.printf "  cached:   %8.3f s  speedup %.2fx  identical: %b\n"
+    wall_cached
+    (wall_uncached /. Float.max wall_cached 1e-9)
+    identical;
+  Format.printf "  cache:    %a@." Ftes_optim.Evalcache.pp_stats stats;
+  record_json
+    [
+      ("name", "\"tabu-cache\"");
+      ("jobs", string_of_int jobs);
+      ("wall_s_uncached", Printf.sprintf "%.6f" wall_uncached);
+      ("wall_s_cached", Printf.sprintf "%.6f" wall_cached);
+      ( "speedup",
+        Printf.sprintf "%.3f" (wall_uncached /. Float.max wall_cached 1e-9) );
+      ( "cache_hit_rate",
+        Printf.sprintf "%.4f" (Ftes_optim.Evalcache.hit_rate stats) );
+      ("cache_lookups", string_of_int stats.Ftes_optim.Evalcache.lookups);
+      ("identical", string_of_bool identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core algorithms                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -336,6 +410,7 @@ let () =
   if selected "ablation" then timed_phase "ablations" run_ablations;
   if selected "validation" then
     timed_phase "validation-scaling" run_validation_scaling;
+  if selected "cache" then timed_phase "cache" run_cache_bench;
   timed_phase "micro" run_micro;
   write_json ();
   section "Done"

@@ -96,16 +96,19 @@ let strategy_conv =
   Arg.conv (parse, print)
 
 let synthesize path strategy fto checkpointing no_tables matrix validate
-    explain json jobs =
+    explain json jobs no_cache stats =
   let doc = read_doc path in
+  let cache =
+    if no_cache then None else Some (Ftes_optim.Evalcache.create ())
+  in
   let tabu =
+    let base =
+      Ftes_core.Synthesis.default_options.Ftes_core.Synthesis.tabu
+    in
+    let base = { base with Ftes_optim.Tabu.cache } in
     match jobs with
-    | None -> Ftes_core.Synthesis.default_options.Ftes_core.Synthesis.tabu
-    | Some j ->
-        {
-          Ftes_core.Synthesis.default_options.Ftes_core.Synthesis.tabu with
-          Ftes_optim.Tabu.jobs = j;
-        }
+    | None -> base
+    | Some j -> { base with Ftes_optim.Tabu.jobs = j }
   in
   let options =
     {
@@ -145,6 +148,14 @@ let synthesize path strategy fto checkpointing no_tables matrix validate
           (Ftes_sched.Table.pp_matrix ~max_columns:24)
           table
   | None -> ());
+  (match (stats, cache) with
+  | true, Some c ->
+      Format.printf "@.-- evaluation cache --@.  %a@."
+        Ftes_optim.Evalcache.pp_stats
+        (Ftes_optim.Evalcache.stats c)
+  | true, None ->
+      Format.printf "@.-- evaluation cache --@.  disabled (--no-cache)@."
+  | false, _ -> ());
   if validate || explain || json then begin
     let violations = Ftes_core.Synthesis.validate ?jobs result in
     if json then
@@ -210,11 +221,21 @@ let synthesize_cmd =
            ~doc:"Domains for candidate evaluation and validation \
                  (default: all cores; 1 = sequential).")
   in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the memoized design-evaluation cache (the \
+                 result is identical; only the running time changes).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print evaluation-cache statistics (lookups, hit rate, \
+                 evictions) after synthesis.")
+  in
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:"Synthesize a fault-tolerant configuration and its tables.")
     Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
-          $ matrix $ validate $ explain $ json $ jobs)
+          $ matrix $ validate $ explain $ json $ jobs $ no_cache $ stats)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

@@ -104,6 +104,15 @@ let diagnostics_demo ?jobs () =
 
 let k_for_size n = max 3 (min 7 (2 + (n / 20)))
 
+(* One evaluation cache per workload instance (a cache serves a single
+   synthesis universe), shared by every strategy phase run on it —
+   unless the caller already supplied one through [tabu.cache]. *)
+let with_cache (tabu : Tabu.options) =
+  match tabu.Tabu.cache with
+  | Some _ -> tabu
+  | None ->
+      { tabu with Tabu.cache = Some (Ftes_optim.Evalcache.create ()) }
+
 let instance_inputs ~size ~seed =
   let nodes = 2 + (seed mod 5) in
   let spec = { Gen.default with processes = size; nodes; seed } in
@@ -123,6 +132,7 @@ let fig7 ?jobs ?(seeds_per_point = 5) ?(sizes = [ 20; 40; 60; 80; 100 ])
           Ftes_util.Par.init ?jobs seeds_per_point (fun s ->
               let seed = (size * 131) + s in
               let inputs = instance_inputs ~size ~seed in
+              let tabu = with_cache tabu in
               let nft = Strategy.nft_length ~opts:tabu inputs in
               let mxr = Strategy.run ~opts:tabu ~nft inputs Strategy.MXR in
               List.map
@@ -166,12 +176,13 @@ let fig8 ?jobs ?(seeds_per_point = 5) ?(sizes = [ 40; 60; 80; 100 ])
           Ftes_util.Par.init ?jobs seeds_per_point (fun s ->
               let seed = (size * 137) + s in
               let inputs = instance_inputs ~size ~seed in
+              let tabu = with_cache tabu in
               let nft = Strategy.nft_length ~opts:tabu inputs in
               (* Shared mapping optimization; then local vs global
                  checkpoint counts (paper, Fig. 8 setup). *)
               let local = Strategy.run ~opts:tabu ~nft inputs Strategy.MC_local in
               let glob =
-                Checkpoint.global_optimize
+                Checkpoint.global_optimize ?cache:tabu.Tabu.cache
                   (Checkpoint.assign_local local.Strategy.problem)
               in
               let l_local = local.Strategy.length in

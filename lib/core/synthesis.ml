@@ -59,7 +59,8 @@ let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
   let outcome = Strategy.run ~opts:options.tabu ?nft inputs options.strategy in
   let problem =
     if options.checkpointing then
-      Ftes_optim.Checkpoint.global_optimize outcome.Strategy.problem
+      Ftes_optim.Checkpoint.global_optimize ?cache:options.tabu.Tabu.cache
+        outcome.Strategy.problem
     else outcome.Strategy.problem
   in
   let estimate = Slack.evaluate problem in

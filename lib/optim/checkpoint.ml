@@ -47,11 +47,16 @@ let assign_local ?max_checkpoints problem =
         let o = (Graph.process g pid).Graph.overheads in
         local_optimum ?max_checkpoints ~c o ~k:plan.Policy.recoveries)
 
-let global_optimize ?(max_checkpoints = 100) ?(max_passes = 32) problem =
+let global_optimize ?cache ?(max_checkpoints = 100) ?(max_passes = 32) problem =
   let g = Problem.graph problem in
   let nprocs = Graph.process_count g in
+  let objective p =
+    match cache with
+    | Some c -> Evalcache.length ~ft:true c p
+    | None -> Ftes_sched.Slack.length p
+  in
   let best = ref problem in
-  let best_len = ref (Ftes_sched.Slack.length problem) in
+  let best_len = ref (objective problem) in
   let try_move pid copy delta =
     let p = (!best).Problem.policies.(pid) in
     if copy < Policy.replica_count p then begin
@@ -63,7 +68,7 @@ let global_optimize ?(max_checkpoints = 100) ?(max_passes = 32) problem =
         let cand =
           Problem.with_policies !best policies (!best).Problem.mapping
         in
-        let len = Ftes_sched.Slack.length cand in
+        let len = objective cand in
         if len < !best_len -. 1e-9 then begin
           best := cand;
           best_len := len;

@@ -31,12 +31,15 @@ val assign_local :
     budgets and mapping unchanged). *)
 
 val global_optimize :
+  ?cache:Evalcache.t ->
   ?max_checkpoints:int ->
   ?max_passes:int ->
   Ftes_ftcpg.Problem.t ->
   Ftes_ftcpg.Problem.t
 (** Steepest-descent over single-copy checkpoint increments/decrements,
     objective = estimated worst-case schedule length
-    ([Ftes_sched.Slack.length]); stops at a local minimum or after
+    ([Ftes_sched.Slack.length], memoized through [cache] when given —
+    increment/decrement candidates recur across passes, and the result
+    is identical either way); stops at a local minimum or after
     [max_passes] (default 32) improvement passes. Start from any
     assignment (typically {!assign_local}). *)

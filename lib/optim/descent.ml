@@ -3,21 +3,30 @@ module Mapping = Ftes_ftcpg.Mapping
 module Graph = Ftes_app.Graph
 module Wcet = Ftes_arch.Wcet
 
-let objective = Ftes_sched.Slack.length ~ft:true
+let objective ?cache p =
+  match cache with
+  | Some c -> Evalcache.length ~ft:true c p
+  | None -> Ftes_sched.Slack.length ~ft:true p
 
-let policy_sweep ?(kinds = [ Tabu.Reexec; Tabu.Repl; Tabu.Combined ])
+let policy_sweep ?cache ?(kinds = [ Tabu.Reexec; Tabu.Repl; Tabu.Combined ])
     ?max_rounds ?(width = 6) problem =
   let g = Problem.graph problem in
   let nprocs = Graph.process_count g in
   let max_rounds = match max_rounds with Some r -> r | None -> nprocs in
   let k = problem.Problem.k in
   let wcet = problem.Problem.wcet in
+  let objective p = objective ?cache p in
+  let evaluate p =
+    match cache with
+    | Some c -> Evalcache.evaluate ~ft:true c p
+    | None -> Ftes_sched.Slack.evaluate ~ft:true p
+  in
   (* The slack term is a max over processes: only moves on the current
      top-penalty processes can improve it, so each round evaluates the
      [width] most critical ones (plus the estimate's root is insensitive
      to a single policy switch elsewhere). *)
   let candidates best =
-    let r = Ftes_sched.Slack.evaluate best in
+    let r = evaluate best in
     let critical =
       List.filteri (fun i _ -> i < width)
         (List.map fst (Ftes_sched.Slack.critical_processes r))
@@ -53,11 +62,12 @@ let policy_sweep ?(kinds = [ Tabu.Reexec; Tabu.Repl; Tabu.Combined ])
   in
   round 0 problem (objective problem)
 
-let remap_sweep ?max_rounds problem =
+let remap_sweep ?cache ?max_rounds problem =
   let g = Problem.graph problem in
   let nprocs = Graph.process_count g in
   let max_rounds = match max_rounds with Some r -> r | None -> nprocs in
   let wcet = problem.Problem.wcet in
+  let objective p = objective ?cache p in
   let rec round i best best_len =
     if i >= max_rounds then best
     else begin

@@ -9,6 +9,7 @@
     reference optimizer. *)
 
 val policy_sweep :
+  ?cache:Evalcache.t ->
   ?kinds:Tabu.policy_kind list ->
   ?max_rounds:int ->
   ?width:int ->
@@ -20,10 +21,14 @@ val policy_sweep :
     stops at a local minimum or after [max_rounds] (default the process
     count). The restriction to critical processes is sound for the
     estimator: its slack term is a maximum over processes. Objective:
-    [Ftes_sched.Slack.length]. *)
+    [Ftes_sched.Slack.length], memoized through [cache] when given (the
+    sweep result is identical either way). *)
 
 val remap_sweep :
-  ?max_rounds:int -> Ftes_ftcpg.Problem.t -> Ftes_ftcpg.Problem.t
+  ?cache:Evalcache.t ->
+  ?max_rounds:int ->
+  Ftes_ftcpg.Problem.t ->
+  Ftes_ftcpg.Problem.t
 (** Each round evaluates remapping every copy of every process to every
     allowed node and applies the best strictly improving remap. O(n^2)
     per round — intended for small instances and as a test oracle. *)

@@ -1,0 +1,218 @@
+(* Lock-striped memoization of [Slack.evaluate] keyed by a canonical
+   design signature. See evalcache.mli for the contract. *)
+
+module Problem = Ftes_ftcpg.Problem
+module Mapping = Ftes_ftcpg.Mapping
+module Policy = Ftes_app.Policy
+module Graph = Ftes_app.Graph
+module Slack = Ftes_sched.Slack
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+  bypasses : int;
+  entries : int;
+}
+
+type shard = {
+  lock : Mutex.t;
+  table : (string, Slack.result) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+}
+
+type t = {
+  shards : shard array;
+  per_shard_capacity : int;
+  (* The first problem evaluated pins the universe (application,
+     architecture, WCET table — everything the signature does not
+     encode); foreign problems bypass the cache. *)
+  universe : Problem.t option Atomic.t;
+  bypasses : int Atomic.t;
+}
+
+let create ?(shards = 16) ?(capacity = 65536) () =
+  if shards < 1 then invalid_arg "Evalcache.create: shards < 1";
+  if capacity < 1 then invalid_arg "Evalcache.create: capacity < 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            order = Queue.create ();
+            hits = 0;
+            misses = 0;
+            inserts = 0;
+            evictions = 0;
+          });
+    per_shard_capacity = max 1 ((capacity + shards - 1) / shards);
+    universe = Atomic.make None;
+    bypasses = Atomic.make 0;
+  }
+
+(* Self-delimiting integer: one byte for the common case (counts,
+   recoveries, node ids — all tiny), 0xff + 4 little-endian bytes
+   otherwise. Keeps the signature allocation-free apart from the buffer
+   itself (no [string_of_int], no intermediate lists). *)
+let add_int buf v =
+  if v >= 0 && v < 0xff then Buffer.add_char buf (Char.unsafe_chr v)
+  else begin
+    Buffer.add_char buf '\xff';
+    Buffer.add_int32_le buf (Int32.of_int v)
+  end
+
+let signature ?(ft = true) (p : Problem.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf (if ft then 'F' else 'f');
+  add_int buf p.Problem.k;
+  let n = Graph.process_count (Problem.graph p) in
+  for pid = 0 to n - 1 do
+    let copies = p.Problem.policies.(pid).Policy.copies in
+    add_int buf (Array.length copies);
+    Array.iter
+      (fun (plan : Policy.copy_plan) ->
+        add_int buf plan.Policy.recoveries;
+        add_int buf plan.Policy.checkpoints)
+      copies;
+    let m = Mapping.copy_count p.Problem.mapping ~pid in
+    add_int buf m;
+    for copy = 0 to m - 1 do
+      add_int buf (Mapping.node_of p.Problem.mapping ~pid ~copy)
+    done
+  done;
+  Buffer.contents buf
+
+(* FNV-1a over the signature bytes, folded into OCaml's native int
+   range (the offset basis is the standard 64-bit one truncated to fit a
+   63-bit literal; the multiply wraps mod 2^63, which preserves the
+   mixing behaviour). *)
+let signature_hash key =
+  let h = ref 0x3f29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    key;
+  !h land max_int
+
+let same_universe (u : Problem.t) (p : Problem.t) =
+  u.Problem.app == p.Problem.app
+  && u.Problem.arch == p.Problem.arch
+  && u.Problem.wcet == p.Problem.wcet
+
+let rec claim_universe t p =
+  match Atomic.get t.universe with
+  | Some u -> same_universe u p
+  | None ->
+      if Atomic.compare_and_set t.universe None (Some p) then true
+      else claim_universe t p
+
+let evaluate ?(ft = true) t (p : Problem.t) =
+  if not (claim_universe t p) then begin
+    Atomic.incr t.bypasses;
+    Slack.evaluate ~ft p
+  end
+  else begin
+    let key = signature ~ft p in
+    let shard = t.shards.(signature_hash key mod Array.length t.shards) in
+    Mutex.lock shard.lock;
+    let cached = Hashtbl.find_opt shard.table key in
+    (match cached with
+    | Some _ -> shard.hits <- shard.hits + 1
+    | None -> shard.misses <- shard.misses + 1);
+    Mutex.unlock shard.lock;
+    match cached with
+    | Some r -> r
+    | None ->
+        (* Evaluate outside the lock: two domains may race on the same
+           fresh signature and both evaluate, but the function is pure,
+           so whichever insert wins stores the identical result. The
+           placement lists are dropped before storing: no optimization
+           consumer reads them (the objective is [length], descent reads
+           [penalties]), and retaining them would promote kilobytes of
+           short-lived list cells to the major heap on every miss —
+           measured to cost more than the hits save. *)
+        let r =
+          { (Slack.evaluate ~ft p) with
+            Slack.placements = []; msg_placements = [] }
+        in
+        Mutex.lock shard.lock;
+        if not (Hashtbl.mem shard.table key) then begin
+          if Hashtbl.length shard.table >= t.per_shard_capacity then (
+            match Queue.take_opt shard.order with
+            | Some victim ->
+                Hashtbl.remove shard.table victim;
+                shard.evictions <- shard.evictions + 1
+            | None -> ());
+          Hashtbl.add shard.table key r;
+          Queue.push key shard.order;
+          shard.inserts <- shard.inserts + 1
+        end;
+        Mutex.unlock shard.lock;
+        r
+  end
+
+let length ?ft t p = (evaluate ?ft t p).Slack.length
+
+let stats t =
+  let acc =
+    Array.fold_left
+      (fun (acc : stats) s ->
+        Mutex.lock s.lock;
+        let acc =
+          {
+            acc with
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            inserts = acc.inserts + s.inserts;
+            evictions = acc.evictions + s.evictions;
+            entries = acc.entries + Hashtbl.length s.table;
+          }
+        in
+        Mutex.unlock s.lock;
+        acc)
+      {
+        lookups = 0;
+        hits = 0;
+        misses = 0;
+        inserts = 0;
+        evictions = 0;
+        bypasses = Atomic.get t.bypasses;
+        entries = 0;
+      }
+      t.shards
+  in
+  { acc with lookups = acc.hits + acc.misses }
+
+let hit_rate s =
+  if s.lookups = 0 then 0. else float_of_int s.hits /. float_of_int s.lookups
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.table;
+      Queue.clear s.order;
+      s.hits <- 0;
+      s.misses <- 0;
+      s.inserts <- 0;
+      s.evictions <- 0;
+      Mutex.unlock s.lock)
+    t.shards;
+  Atomic.set t.bypasses 0;
+  Atomic.set t.universe None
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d lookups: %d hits (%.1f%%), %d misses; %d inserts, %d evictions, %d \
+     bypasses, %d entries"
+    s.lookups s.hits
+    (hit_rate s *. 100.)
+    s.misses s.inserts s.evictions s.bypasses s.entries

@@ -1,0 +1,78 @@
+(** Domain-safe memoization of design evaluations ([Ftes_sched.Slack]).
+
+    The design-space exploration layers — tabu search, steepest descent,
+    checkpoint optimization, the Fig. 7 strategies — spend almost all of
+    their time re-running [Slack.evaluate] on configurations the search
+    has already priced: moves perturb a single process, stalled
+    iterations redraw moves from an unchanged configuration, and the MXR
+    strategy re-visits the same assignments across its phases. The cache
+    keys each evaluation by a canonical {e design signature} — the
+    mapping vector, the per-process policy (recovery and checkpoint plan
+    of every copy), the fault hypothesis [k] and the [ft] objective
+    flag — so a repeated configuration returns its memoized
+    [Slack.result] instead of re-scheduling.
+
+    {b Determinism.} [Slack.evaluate] is a pure function of the
+    signature (given a fixed application / architecture / WCET table),
+    so a cached run is bit-identical to an uncached one: the cache is a
+    pure performance layer, pinned by the tests in
+    [test/test_evalcache.ml].
+
+    {b Domain safety.} The store is lock-striped: signatures are hashed
+    (FNV-style) onto a fixed array of shards, each guarded by its own
+    [Mutex], so concurrent lookups from the [Ftes_util.Par] domain pool
+    contend only when they hash to the same shard. Evaluations always
+    run outside the locks.
+
+    {b Scope.} One cache serves one synthesis instance: the first
+    problem evaluated pins the cache's {e universe} (its application,
+    architecture and WCET table, compared physically). A problem from a
+    different universe bypasses the cache — counted in
+    [stats.bypasses] — and is evaluated directly, so sharing a cache too
+    widely degrades performance, never correctness. *)
+
+type t
+
+type stats = {
+  lookups : int;  (** Cacheable evaluation requests (hits + misses). *)
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;  (** Entries dropped to respect [capacity]. *)
+  bypasses : int;  (** Requests from a foreign universe, not cached. *)
+  entries : int;  (** Entries currently stored. *)
+}
+
+val create : ?shards:int -> ?capacity:int -> unit -> t
+(** [shards] (default 16) lock stripes; [capacity] (default 65536) a
+    bound on the {e total} number of stored results, split evenly across
+    shards (at least one entry per shard). When a shard is full the
+    oldest entry of that shard is evicted (FIFO).
+    @raise Invalid_argument when either is < 1. *)
+
+val signature : ?ft:bool -> Ftes_ftcpg.Problem.t -> string
+(** The canonical structural key: [ft] flag ⊕ [k] ⊕ per-process policy
+    plans ⊕ mapping vector. Injective over everything [Slack.evaluate]
+    reads from the configuration (two problems of the same universe get
+    equal signatures iff the evaluator cannot distinguish them). *)
+
+val signature_hash : string -> int
+(** FNV-1a-style hash of a signature, used for shard selection.
+    Exposed for the collision tests. *)
+
+val evaluate : ?ft:bool -> t -> Ftes_ftcpg.Problem.t -> Ftes_sched.Slack.result
+(** Memoized [Ftes_sched.Slack.evaluate ?ft]. *)
+
+val length : ?ft:bool -> t -> Ftes_ftcpg.Problem.t -> float
+(** Memoized [Ftes_sched.Slack.length ?ft] (same cache entries as
+    {!evaluate}: the full result is stored either way). *)
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** [hits / lookups] in [0, 1]; [0.] before the first lookup. *)
+
+val clear : t -> unit
+(** Drop every entry, reset all counters and unpin the universe. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -54,8 +54,14 @@ let run ?(opts = Tabu.default_options) ?nft (i : inputs) name =
   let nft =
     match nft with Some v -> v | None -> nft_length ~opts i
   in
+  let cache = opts.Tabu.cache in
+  let slack_length p =
+    match cache with
+    | Some c -> Evalcache.length ~ft:true c p
+    | None -> Ftes_sched.Slack.length p
+  in
   let finish problem =
-    let length = Ftes_sched.Slack.length problem in
+    let length = slack_length problem in
     {
       name;
       length;
@@ -75,20 +81,18 @@ let run ?(opts = Tabu.default_options) ?nft (i : inputs) name =
          a max over processes — gains come from repeatedly fixing the
          current worst process), then give mapping a chance to adapt to
          the new replicas, then sweep policies once more. *)
-      let s1 = Descent.policy_sweep mx_best in
+      let s1 = Descent.policy_sweep ?cache mx_best in
       let t_opts =
         { opts with policy_moves = false; remap_moves = true;
           seed = opts.seed + 1;
           iterations = opts.iterations / 2 }
       in
       let s2, _ = Tabu.optimize t_opts s1 in
-      let s3 = Descent.policy_sweep s2 in
+      let s3 = Descent.policy_sweep ?cache s2 in
       let best =
         List.fold_left
           (fun acc cand ->
-            if Ftes_sched.Slack.length cand < Ftes_sched.Slack.length acc then
-              cand
-            else acc)
+            if slack_length cand < slack_length acc then cand else acc)
           mx_best [ s1; s2; s3 ]
       in
       finish best
@@ -121,7 +125,7 @@ let run ?(opts = Tabu.default_options) ?nft (i : inputs) name =
       let p = initial_problem i (reexec_policies i) in
       let opts = { opts with policy_moves = false; remap_moves = true } in
       let best, _ = Tabu.optimize opts p in
-      finish (Checkpoint.global_optimize (Checkpoint.assign_local best))
+      finish (Checkpoint.global_optimize ?cache (Checkpoint.assign_local best))
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%-9s length %8.1f  FTO %6.1f%%" (name_to_string o.name)

@@ -47,7 +47,12 @@ val run :
   ?opts:Tabu.options -> ?nft:float -> inputs -> name -> outcome
 (** Run one strategy. [nft] (the fault-free baseline length) is computed
     on demand when not supplied — pass it when evaluating several
-    strategies on the same instance. *)
+    strategies on the same instance. When [opts.cache] is set, every
+    design evaluation of the strategy — tabu candidates, descent sweeps,
+    checkpoint optimization, the final selection — goes through the
+    shared [Evalcache]; MXR in particular re-visits the same assignments
+    across its phases, so the cache pays off most there. The outcome is
+    identical with the cache on or off. *)
 
 val all_names : name list
 val name_to_string : name -> string

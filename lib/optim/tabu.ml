@@ -18,6 +18,7 @@ type options = {
   policy_kinds : policy_kind list;
   ft_objective : bool;
   jobs : int;
+  cache : Evalcache.t option;
 }
 
 let default_options =
@@ -32,6 +33,7 @@ let default_options =
     policy_kinds = [ Reexec; Repl; Combined ];
     ft_objective = true;
     jobs = Ftes_util.Par.default_jobs ();
+    cache = None;
   }
 
 let kind_of_policy p =
@@ -91,9 +93,49 @@ let apply_move ~k ~wcet problem = function
       Problem.with_policies problem problem.Problem.policies mapping
   | Set_policy { pid; kind } -> reassign_policy ~k ~wcet problem ~pid kind
 
-let moved_pid = function
-  | Remap { pid; _ } -> pid
-  | Set_policy { pid; _ } -> pid
+(* Tabu tenures are keyed by the full move locus — pid × move family ×
+   copy — not by pid alone: a remap of one replica copy and a policy
+   switch on the same process touch different design decisions and must
+   not alias a single tenure slot (keying by pid made them wrongly veto
+   each other). The target node of a remap is deliberately not part of
+   the locus: once a copy has moved, moving it again anywhere is the
+   reversal the tenure exists to forbid. A policy switch rebuilds every
+   copy of the process, so its locus carries no copy index. *)
+module Tenure = struct
+  type locus = Remap_site of { pid : int; copy : int } | Policy_site of int
+
+  type t = (locus, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let locus = function
+    | Remap { pid; copy; _ } -> Remap_site { pid; copy }
+    | Set_policy { pid; _ } -> Policy_site pid
+
+  let mark t ~iter ~tenure mv = Hashtbl.replace t (locus mv) (iter + tenure)
+
+  let active t ~iter mv =
+    match Hashtbl.find_opt t (locus mv) with
+    | Some until -> iter < until
+    | None -> false
+end
+
+(* Collapse duplicate draws to their first occurrence, preserving draw
+   order. The sequential accept decision breaks ties strictly (first
+   strictly smaller length wins), so a duplicate — equal length by
+   definition — can never be chosen over its first occurrence: dropping
+   it before the evaluation fan-out saves the redundant evaluations
+   without changing the trajectory for any [jobs] value. *)
+let dedup_moves moves =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun mv ->
+      if Hashtbl.mem seen mv then false
+      else begin
+        Hashtbl.add seen mv ();
+        true
+      end)
+    moves
 
 let random_move rng opts problem =
   let g = Problem.graph problem in
@@ -124,13 +166,12 @@ let optimize opts problem =
   let rng = Rng.create opts.seed in
   let k = problem.Problem.k in
   let wcet = problem.Problem.wcet in
-  let objective p = Ftes_sched.Slack.length ~ft:opts.ft_objective p in
-  let tabu_until : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let is_tabu iter pid =
-    match Hashtbl.find_opt tabu_until pid with
-    | Some until -> iter < until
-    | None -> false
+  let objective p =
+    match opts.cache with
+    | Some c -> Evalcache.length ~ft:opts.ft_objective c p
+    | None -> Ftes_sched.Slack.length ~ft:opts.ft_objective p
   in
+  let tabu = Tenure.create () in
   let best = ref problem in
   let best_len = ref (objective problem) in
   let current = ref problem in
@@ -157,7 +198,7 @@ let optimize opts problem =
              match apply_move ~k ~wcet !current mv with
              | exception Invalid_argument _ -> None
              | cand -> Some (mv, cand, objective cand))
-           (List.rev !drawn)
+           (dedup_moves (List.rev !drawn))
        in
        let chosen = ref None in
        List.iter
@@ -168,7 +209,7 @@ let optimize opts problem =
                   move is admissible only when it beats the best length
                   seen so far (not merely the current schedule). *)
                let admissible =
-                 (not (is_tabu iter (moved_pid mv)))
+                 (not (Tenure.active tabu ~iter mv))
                  || len < !best_len -. 1e-9
                in
                if admissible then
@@ -183,7 +224,7 @@ let optimize opts problem =
        | None -> incr stall
        | Some (mv, cand, len) ->
            current := cand;
-           Hashtbl.replace tabu_until (moved_pid mv) (iter + opts.tenure);
+           Tenure.mark tabu ~iter ~tenure:opts.tenure mv;
            if len < !best_len -. 1e-9 then begin
              best := cand;
              best_len := len;

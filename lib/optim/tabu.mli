@@ -36,9 +36,43 @@ type options = {
                    so the search trajectory — and the final
                    configuration — is identical for every [jobs]
                    value; [1] is the exact sequential code path. *)
+  cache : Evalcache.t option;
+      (** Shared design-evaluation cache (default [None] = evaluate
+          directly). The cache is a pure performance layer: the search
+          trajectory and the final configuration are identical with the
+          cache on or off, for every [jobs] value. *)
 }
 
 val default_options : options
+
+type move =
+  | Remap of { pid : int; copy : int; nid : int }
+      (** Move one copy of process [pid] to node [nid]. *)
+  | Set_policy of { pid : int; kind : policy_kind }
+      (** Switch the fault-tolerance policy of process [pid]. *)
+
+(** Tabu tenures keyed by the full move locus — pid × move family ×
+    copy — so a remap of one replica copy and a policy switch on the
+    same process occupy distinct tenure slots (keying by pid alone made
+    them wrongly veto each other). Exposed for the regression tests. *)
+module Tenure : sig
+  type t
+
+  val create : unit -> t
+
+  val mark : t -> iter:int -> tenure:int -> move -> unit
+  (** Forbid the locus of [move] until iteration [iter + tenure]. *)
+
+  val active : t -> iter:int -> move -> bool
+  (** Is the locus of [move] still vetoed at iteration [iter]? *)
+end
+
+val dedup_moves : move list -> move list
+(** Drop duplicate moves, keeping the first occurrence of each in list
+    order. Used on the drawn candidate list before the parallel
+    evaluation fan-out: the sequential accept rule is strictly
+    first-wins on ties, so duplicates can never win and evaluating them
+    is pure waste. *)
 
 val reassign_policy :
   k:int ->

@@ -24,7 +24,12 @@ type state = {
   finish : float Imap.t;  (* scheduled vertices -> finish time *)
   reveal : float Imap.t;  (* condition -> revelation time *)
   bcast : float Imap.t;  (* condition -> broadcast arrival *)
-  pending : (float * int) list;  (* unrevealed conditions, by time *)
+  pending : (float * int) Ftes_util.Pqueue.t;
+      (* unrevealed conditions, min-heap by revelation time. Branch
+         states share physical queues only when at most one branch is
+         still live: [commit] pushes in place (the parent state is dead
+         once its successor exists) and a fork hands the fault branch a
+         [Pqueue.copy] while the no-fault branch keeps the original. *)
   entries : Table.entry list;  (* reversed *)
   makespan : float;
 }
@@ -186,11 +191,8 @@ let schedule ?(params = default_params) ftcpg =
       { Table.item = Table.Exec v.Ftcpg.vid; guard = st.guard; start;
         finish = fin; resource }
     in
-    let pending =
-      if v.Ftcpg.conditional then
-        List.sort compare ((fin, v.Ftcpg.vid) :: st.pending)
-      else st.pending
-    in
+    if v.Ftcpg.conditional then
+      Ftes_util.Pqueue.push st.pending (fin, v.Ftcpg.vid);
     let reveal =
       if v.Ftcpg.conditional then Imap.add v.Ftcpg.vid fin st.reveal
       else st.reveal
@@ -201,7 +203,6 @@ let schedule ?(params = default_params) ftcpg =
       bus = !bus;
       finish = Imap.add v.Ftcpg.vid fin st.finish;
       reveal;
-      pending;
       entries = entry :: st.entries;
       makespan = max st.makespan fin;
     }
@@ -232,7 +233,9 @@ let schedule ?(params = default_params) ftcpg =
 
   let rec run st =
     let next_reveal =
-      match st.pending with [] -> infinity | (t, _) :: _ -> t
+      match Ftes_util.Pqueue.peek st.pending with
+      | None -> infinity
+      | Some (t, _) -> t
     in
     (* Candidates placeable before the next revelation. *)
     let best = ref None in
@@ -255,10 +258,10 @@ let schedule ?(params = default_params) ftcpg =
     match !best with
     | Some (_, v, placement) -> run (commit st v placement)
     | None -> (
-        match st.pending with
-        | (tr, vc) :: rest ->
+        match Ftes_util.Pqueue.peek st.pending with
+        | Some (tr, vc) ->
             let st = schedule_bcast st (tr, vc) in
-            let st = { st with pending = rest } in
+            ignore (Ftes_util.Pqueue.pop st.pending);
             let branch_nf =
               {
                 st with
@@ -272,11 +275,12 @@ let schedule ?(params = default_params) ftcpg =
                     st with
                     guard = Cond.add_exn st.guard { Cond.cond = vc; fault = true };
                     faults = st.faults + 1;
+                    pending = Ftes_util.Pqueue.copy st.pending;
                   }
               else []
             in
             results_f @ run branch_nf
-        | [] ->
+        | None ->
             (* Leaf: every vertex reachable in this scenario must be done. *)
             for vid = 0 to nverts - 1 do
               let v = vert vid in
@@ -338,7 +342,7 @@ let schedule ?(params = default_params) ftcpg =
       finish = Imap.empty;
       reveal = Imap.empty;
       bcast = Imap.empty;
-      pending = [];
+      pending = Ftes_util.Pqueue.create ~cmp:compare;
       entries = [];
       makespan = 0.;
     }

@@ -1,11 +1,20 @@
-(* Fixed-size domain pool with an atomic work index and index-ordered
-   result merge. See par.mli for the contract. *)
+(* Persistent domain pool with an atomic work index and index-ordered
+   result merge. See par.mli for the contract.
+
+   Workers are spawned lazily on the first parallel call and then kept
+   parked on a condition variable between calls. [Domain.spawn] costs
+   milliseconds on typical hardware — tolerable when each task runs
+   long enough to hide it, but fatal once a hot evaluation cache turns
+   the tabu search's candidate batches into microsecond tasks: a
+   spawn-per-call pool then spends ~100% of its wall clock creating and
+   joining domains. Reusing parked domains makes the per-call dispatch
+   cost a mutex/condvar round-trip (~a few microseconds). *)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* Set in every worker domain (and in the calling domain while it
-   participates in its own pool) so nested Par calls degrade to the
-   sequential path instead of spawning domains recursively. *)
+   participates in its own job) so nested Par calls degrade to the
+   sequential path instead of recursing into the pool. *)
 let worker_flag : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let in_worker () = Domain.DLS.get worker_flag
@@ -18,28 +27,143 @@ let effective_jobs ?jobs n =
     let j = match jobs with Some j -> j | None -> default_jobs () in
     max 1 (min j n)
 
-let run_pool ~jobs ~n ~(task : int -> unit) =
-  let next = Atomic.make 0 in
-  let error : exn option Atomic.t = Atomic.make None in
-  let worker () =
-    Domain.DLS.set worker_flag true;
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n && Atomic.get error = None then begin
-        (try task i
-         with e -> ignore (Atomic.compare_and_set error None (Some e)));
-        loop ()
-      end
-    in
-    loop ()
+(* A published batch of tasks. Workers pull indices from [next];
+   [completed] counts finished tasks so the caller knows when the batch
+   has drained ([Atomic.incr] after the task body also publishes the
+   task's plain writes to the caller). [participants] caps how many
+   pool workers join this batch, so [~jobs] stays an upper bound on the
+   domains doing work even when the pool has grown larger. *)
+type job = {
+  n : int;
+  task : int -> unit;  (* never raises: wrapped by run_pool *)
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  max_workers : int;
+  participants : int Atomic.t;
+}
+
+type pool = {
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let pool =
+  {
+    lock = Mutex.create ();
+    wake = Condition.create ();
+    job = None;
+    generation = 0;
+    shutdown = false;
+    workers = [];
+  }
+
+let run_tasks (j : job) =
+  let rec loop () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.n then begin
+      j.task i;
+      Atomic.incr j.completed;
+      loop ()
+    end
   in
-  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  loop ()
+
+let worker_body () =
+  Domain.DLS.set worker_flag true;
+  let my_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while (not pool.shutdown) && pool.generation = !my_gen do
+      Condition.wait pool.wake pool.lock
+    done;
+    if pool.shutdown then Mutex.unlock pool.lock
+    else begin
+      my_gen := pool.generation;
+      let j = pool.job in
+      Mutex.unlock pool.lock;
+      (match j with
+      | Some j when Atomic.fetch_and_add j.participants 1 < j.max_workers ->
+          run_tasks j
+      | _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* Grow the pool to [want] workers. Called with [pool.lock] held; the
+   new domains block on that same lock until the caller publishes the
+   job and releases it. *)
+let ensure_workers want =
+  let have = List.length pool.workers in
+  for _ = have + 1 to want do
+    pool.workers <- Domain.spawn worker_body :: pool.workers
+  done
+
+let shutdown_pool () =
+  Mutex.lock pool.lock;
+  pool.shutdown <- true;
+  Condition.broadcast pool.wake;
+  let ws = pool.workers in
+  pool.workers <- [];
+  Mutex.unlock pool.lock;
+  List.iter Domain.join ws
+
+let () = at_exit shutdown_pool
+
+let run_pool ~jobs ~n ~(task : int -> unit) =
+  let error : exn option Atomic.t = Atomic.make None in
+  let task i =
+    (* Once a task has raised, the remaining indices are still claimed
+       (so [completed] reaches [n] and the caller unblocks) but their
+       bodies are skipped, mirroring the fail-fast drain of a
+       spawn-per-call pool. *)
+    if Atomic.get error = None then
+      try task i
+      with e -> ignore (Atomic.compare_and_set error None (Some e))
+  in
+  let j =
+    {
+      n;
+      task;
+      next = Atomic.make 0;
+      completed = Atomic.make 0;
+      max_workers = jobs - 1;
+      participants = Atomic.make 0;
+    }
+  in
+  Mutex.lock pool.lock;
+  let parked = not pool.shutdown in
+  if parked then begin
+    ensure_workers (jobs - 1);
+    pool.job <- Some j;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.wake
+  end;
+  Mutex.unlock pool.lock;
   (* The calling domain pulls tasks too; restore its flag afterwards so
      subsequent top-level Par calls still parallelize. *)
   let saved = Domain.DLS.get worker_flag in
-  worker ();
+  Domain.DLS.set worker_flag true;
+  run_tasks j;
   Domain.DLS.set worker_flag saved;
-  Array.iter Domain.join domains;
+  (* Wait out the workers' in-flight tasks (at most one per worker once
+     [next] is exhausted, so this spin is bounded by a single task). *)
+  while Atomic.get j.completed < n do
+    Domain.cpu_relax ()
+  done;
+  if parked then begin
+    (* Drop the job so the pool does not retain the task closure (and
+       whatever result buffers it captures) until the next call. *)
+    Mutex.lock pool.lock;
+    (match pool.job with
+    | Some j' when j' == j -> pool.job <- None
+    | _ -> ());
+    Mutex.unlock pool.lock
+  end;
   match Atomic.get error with Some e -> raise e | None -> ()
 
 let map_array ?jobs f input =
@@ -48,7 +172,8 @@ let map_array ?jobs f input =
   if jobs <= 1 then Array.map f input
   else begin
     (* Each slot is written by exactly one domain and only read after
-       the joins, which establish the happens-before edge. *)
+       the completion counter reaches [n], which establishes the
+       happens-before edge. *)
     let results = Array.make n None in
     run_pool ~jobs ~n ~task:(fun i -> results.(i) <- Some (f input.(i)));
     Array.map (function Some y -> y | None -> assert false) results

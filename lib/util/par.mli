@@ -4,9 +4,19 @@
     search evaluates every candidate move independently, and the
     experiment sweeps synthesize every workload instance independently —
     all embarrassingly parallel. This module fans such task lists out
-    over a fixed-size pool of OCaml 5 domains and merges the results
+    over a persistent pool of OCaml 5 domains and merges the results
     {e by input index}, so the output is byte-identical to the
     sequential run regardless of how the domains interleave.
+
+    Worker domains are spawned lazily on first use and parked on a
+    condition variable between calls, so the per-call dispatch cost is
+    a mutex round-trip rather than a [Domain.spawn]/[Domain.join]
+    (milliseconds). This matters in the optimization inner loop: once
+    the evaluation cache absorbs most candidate evaluations, each
+    fan-out runs microseconds of real work, and a spawn-per-call pool
+    would cost more than it saves. [~jobs] remains an upper bound on
+    the domains working on any one call even after the pool has grown
+    larger for another. The pool is torn down by an [at_exit] hook.
 
     Scheduling is dynamic (workers pull the next task from a shared
     atomic counter), which balances uneven task costs — fault scenarios

@@ -1,0 +1,278 @@
+(* Tests for the memoized design-evaluation cache: the cache must be a
+   pure performance layer (identical search trajectories with the cache
+   on or off, for any jobs value) and behave correctly under hash
+   collisions, eviction pressure and foreign-universe lookups. *)
+
+module Evalcache = Ftes_optim.Evalcache
+module Tabu = Ftes_optim.Tabu
+module Descent = Ftes_optim.Descent
+module Strategy = Ftes_optim.Strategy
+module Problem = Ftes_ftcpg.Problem
+module Mapping = Ftes_ftcpg.Mapping
+module Graph = Ftes_app.Graph
+module Policy = Ftes_app.Policy
+module Slack = Ftes_sched.Slack
+
+(* Full design configuration as a comparable string (same idiom as
+   test_par.ml): policy and mapping of every process. *)
+let config_string (p : Problem.t) =
+  let g = Problem.graph p in
+  String.concat ";"
+    (List.init (Graph.process_count g) (fun pid ->
+         Printf.sprintf "%d=%s@[%s]" pid
+           (Format.asprintf "%a" Ftes_app.Policy.pp p.Problem.policies.(pid))
+           (String.concat ","
+              (List.map string_of_int
+                 (Mapping.copies p.Problem.mapping ~pid)))))
+
+(* A distinct configuration in the SAME universe (shares the app / arch
+   / wcet pointers, so it is cacheable alongside [p]). *)
+let variant p =
+  let policies = Array.copy p.Problem.policies in
+  policies.(0) <- Policy.replication ~k:p.Problem.k;
+  let mapping =
+    Problem.fastest_mapping ~app:p.Problem.app ~wcet:p.Problem.wcet ~policies
+  in
+  Problem.with_policies p policies mapping
+
+(* ------------------------------------------------------------------ *)
+(* Cached = uncached, bit-identical                                     *)
+(* ------------------------------------------------------------------ *)
+
+let quick_opts =
+  { Tabu.default_options with iterations = 30; sample = 8; jobs = 2 }
+
+let test_tabu_cache_identical () =
+  let problems =
+    Helpers.fig5_problem ()
+    :: List.init 10 (fun i ->
+           Helpers.random_problem ~frozen:false ~mixed_policies:false
+             ~processes:10 ~nodes:3 ~k:2 ~seed:(100 + i) ())
+  in
+  List.iteri
+    (fun i p ->
+      let b0, l0 = Tabu.optimize quick_opts p in
+      let cache = Evalcache.create () in
+      let b1, l1 =
+        Tabu.optimize { quick_opts with cache = Some cache } p
+      in
+      Helpers.check_float (Printf.sprintf "problem %d: same length" i) l0 l1;
+      Alcotest.(check string)
+        (Printf.sprintf "problem %d: same configuration" i)
+        (config_string b0) (config_string b1);
+      let s = Evalcache.stats cache in
+      Alcotest.(check bool)
+        (Printf.sprintf "problem %d: cache saw traffic" i)
+        true
+        (s.Evalcache.lookups > 0))
+    problems
+
+let test_tabu_cache_jobs_matrix () =
+  List.iter
+    (fun seed ->
+      let p =
+        Helpers.random_problem ~frozen:false ~mixed_policies:false
+          ~processes:10 ~nodes:3 ~k:2 ~seed ()
+      in
+      let run ~cache ~jobs =
+        let cache = if cache then Some (Evalcache.create ()) else None in
+        let b, l = Tabu.optimize { quick_opts with cache; jobs } p in
+        (l, config_string b)
+      in
+      let reference = run ~cache:false ~jobs:1 in
+      List.iter
+        (fun (cache, jobs) ->
+          let l, c = run ~cache ~jobs in
+          Helpers.check_float
+            (Printf.sprintf "seed %d cache=%b jobs=%d: length" seed cache jobs)
+            (fst reference) l;
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d cache=%b jobs=%d: config" seed cache jobs)
+            (snd reference) c)
+        [ (false, 4); (true, 1); (true, 4) ])
+    [ 3; 7 ]
+
+let test_descent_cache_identical () =
+  let p =
+    Helpers.random_problem ~frozen:false ~mixed_policies:false ~processes:10
+      ~nodes:4 ~k:3 ~seed:3 ()
+  in
+  let cache = Evalcache.create () in
+  Alcotest.(check string) "policy_sweep"
+    (config_string (Descent.policy_sweep p))
+    (config_string (Descent.policy_sweep ~cache p));
+  let cache = Evalcache.create () in
+  Alcotest.(check string) "remap_sweep"
+    (config_string (Descent.remap_sweep p))
+    (config_string (Descent.remap_sweep ~cache p))
+
+let test_strategy_cache_identical () =
+  let spec =
+    { Ftes_workload.Gen.default with processes = 12; nodes = 3; seed = 21 }
+  in
+  let app, arch, wcet = Ftes_workload.Gen.instance spec in
+  let inputs = { Strategy.app; arch; wcet; k = 2 } in
+  List.iter
+    (fun name ->
+      let o0 = Strategy.run ~opts:quick_opts inputs name in
+      let cache = Evalcache.create () in
+      let o1 =
+        Strategy.run ~opts:{ quick_opts with cache = Some cache } inputs name
+      in
+      let label = Strategy.name_to_string name in
+      Helpers.check_float (label ^ ": length") o0.Strategy.length
+        o1.Strategy.length;
+      Helpers.check_float (label ^ ": fto") o0.Strategy.fto o1.Strategy.fto;
+      Alcotest.(check string) (label ^ ": config")
+        (config_string o0.Strategy.problem)
+        (config_string o1.Strategy.problem);
+      Alcotest.(check bool) (label ^ ": cache saw traffic") true
+        ((Evalcache.stats cache).Evalcache.lookups > 0))
+    [ Strategy.MXR; Strategy.MC_global ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache mechanics: collisions, eviction, universes                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_shard_collision () =
+  (* One shard forces every signature into the same bucket chain: two
+     distinct configurations must coexist without clobbering each
+     other. *)
+  let p = Helpers.fig5_problem () in
+  let q = variant p in
+  Alcotest.(check bool) "distinct signatures" true
+    (Evalcache.signature p <> Evalcache.signature q);
+  let cache = Evalcache.create ~shards:1 ~capacity:64 () in
+  let rp = Evalcache.evaluate cache p in
+  let rq = Evalcache.evaluate cache q in
+  Helpers.check_float "p correct" (Slack.evaluate p).Slack.length
+    rp.Slack.length;
+  Helpers.check_float "q correct" (Slack.evaluate q).Slack.length
+    rq.Slack.length;
+  Helpers.check_float "p hit returns same" rp.Slack.length
+    (Evalcache.evaluate cache p).Slack.length;
+  Helpers.check_float "q hit returns same" rq.Slack.length
+    (Evalcache.evaluate cache q).Slack.length;
+  let s = Evalcache.stats cache in
+  Alcotest.(check int) "2 hits" 2 s.Evalcache.hits;
+  Alcotest.(check int) "2 misses" 2 s.Evalcache.misses;
+  Alcotest.(check int) "2 entries" 2 s.Evalcache.entries
+
+let test_eviction_capacity_one () =
+  let p = Helpers.fig5_problem () in
+  let q = variant p in
+  let cache = Evalcache.create ~shards:1 ~capacity:1 () in
+  let lp = (Evalcache.evaluate cache p).Slack.length in
+  (* q evicts p, then p evicts q again: every lookup misses, results
+     stay correct throughout. *)
+  let lq = (Evalcache.evaluate cache q).Slack.length in
+  let lp' = (Evalcache.evaluate cache p).Slack.length in
+  Helpers.check_float "p stable under eviction" lp lp';
+  Helpers.check_float "q correct" (Slack.evaluate q).Slack.length lq;
+  let s = Evalcache.stats cache in
+  Alcotest.(check int) "no hits" 0 s.Evalcache.hits;
+  Alcotest.(check int) "2 evictions" 2 s.Evalcache.evictions;
+  Alcotest.(check int) "1 entry" 1 s.Evalcache.entries
+
+let test_signature_sensitivity () =
+  let p = Helpers.fig5_problem () in
+  let base = Evalcache.signature p in
+  Alcotest.(check bool) "ft flag" true
+    (base <> Evalcache.signature ~ft:false p);
+  Alcotest.(check bool) "k" true
+    (base <> Evalcache.signature (Problem.with_k p 1));
+  Alcotest.(check bool) "policies + mapping" true
+    (base <> Evalcache.signature (variant p));
+  (* Mapping-only change (fig5 pins every process to one node, so use a
+     multi-node instance): move copy 0 of some process to another of
+     its allowed nodes. *)
+  let m =
+    Helpers.random_problem ~frozen:false ~mixed_policies:false ~processes:8
+      ~nodes:3 ~k:2 ~seed:5 ()
+  in
+  let pid, other =
+    List.find_map
+      (fun pid ->
+        let current = Mapping.node_of m.Problem.mapping ~pid ~copy:0 in
+        List.find_opt (fun n -> n <> current)
+          (Ftes_arch.Wcet.allowed_nodes m.Problem.wcet ~pid)
+        |> Option.map (fun nid -> (pid, nid)))
+      (List.init (Graph.process_count (Problem.graph m)) Fun.id)
+    |> Option.get
+  in
+  let moved =
+    Problem.with_policies m m.Problem.policies
+      (Mapping.remap m.Problem.mapping ~pid ~copy:0 ~nid:other)
+  in
+  Alcotest.(check bool) "mapping only" true
+    (Evalcache.signature m <> Evalcache.signature moved);
+  (* And the signature is stable: same configuration, same string. *)
+  Alcotest.(check string) "deterministic" base (Evalcache.signature p)
+
+let test_foreign_universe_bypasses () =
+  let p = Helpers.fig5_problem () in
+  let foreign =
+    Helpers.random_problem ~frozen:false ~mixed_policies:false ~processes:6
+      ~nodes:2 ~k:2 ~seed:42 ()
+  in
+  let cache = Evalcache.create () in
+  ignore (Evalcache.evaluate cache p);
+  let r = Evalcache.evaluate cache foreign in
+  Helpers.check_float "foreign result correct"
+    (Slack.evaluate foreign).Slack.length r.Slack.length;
+  let s = Evalcache.stats cache in
+  Alcotest.(check int) "bypass counted" 1 s.Evalcache.bypasses;
+  Alcotest.(check int) "foreign not cached" 1 s.Evalcache.entries;
+  (* clear unpins the universe: the foreign problem may claim it now. *)
+  Evalcache.clear cache;
+  ignore (Evalcache.evaluate cache foreign);
+  let s = Evalcache.stats cache in
+  Alcotest.(check int) "re-pinned after clear" 0 s.Evalcache.bypasses;
+  Alcotest.(check int) "cached this time" 1 s.Evalcache.entries
+
+let test_stats_accounting () =
+  let p = Helpers.fig5_problem () in
+  let cache = Evalcache.create () in
+  Alcotest.(check (float 0.)) "empty hit rate" 0.
+    (Evalcache.hit_rate (Evalcache.stats cache));
+  ignore (Evalcache.evaluate cache p);
+  ignore (Evalcache.evaluate cache p);
+  ignore (Evalcache.length cache p);
+  let s = Evalcache.stats cache in
+  Alcotest.(check int) "lookups" 3 s.Evalcache.lookups;
+  Alcotest.(check int) "hits" 2 s.Evalcache.hits;
+  Alcotest.(check int) "misses" 1 s.Evalcache.misses;
+  Alcotest.(check int) "inserts" 1 s.Evalcache.inserts;
+  Helpers.check_float "hit rate" (2. /. 3.) (Evalcache.hit_rate s);
+  Evalcache.clear cache;
+  let s = Evalcache.stats cache in
+  Alcotest.(check int) "cleared lookups" 0 s.Evalcache.lookups;
+  Alcotest.(check int) "cleared entries" 0 s.Evalcache.entries
+
+let () =
+  Alcotest.run "evalcache"
+    [
+      ( "identical trajectories",
+        [
+          Alcotest.test_case "tabu: cache on/off, fig5 + 10 workloads" `Slow
+            test_tabu_cache_identical;
+          Alcotest.test_case "tabu: cache x jobs matrix" `Slow
+            test_tabu_cache_jobs_matrix;
+          Alcotest.test_case "descent sweeps" `Quick
+            test_descent_cache_identical;
+          Alcotest.test_case "strategies (MXR, MC-global)" `Slow
+            test_strategy_cache_identical;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "single-shard collision" `Quick
+            test_single_shard_collision;
+          Alcotest.test_case "eviction at capacity 1" `Quick
+            test_eviction_capacity_one;
+          Alcotest.test_case "signature sensitivity" `Quick
+            test_signature_sensitivity;
+          Alcotest.test_case "foreign universe bypasses" `Quick
+            test_foreign_universe_bypasses;
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+        ] );
+    ]

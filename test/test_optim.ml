@@ -171,6 +171,48 @@ let test_tabu_aspiration_by_global_best () =
         (Mapping.node_of best.Problem.mapping ~pid:0 ~copy:0))
     [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
 
+(* Regression for the tenure-aliasing bug: tenures used to be keyed by
+   pid alone, so a remap of one replica copy wrongly vetoed a policy
+   switch on the same process (and remaps of its other copies). The
+   locus keying keeps the distinct design decisions in distinct
+   slots. *)
+let test_tenure_locus_no_aliasing () =
+  let t = Tabu.Tenure.create () in
+  let remap01 = Tabu.Remap { pid = 0; copy = 1; nid = 2 } in
+  Tabu.Tenure.mark t ~iter:1 ~tenure:8 remap01;
+  Alcotest.(check bool) "same locus is vetoed" true
+    (Tabu.Tenure.active t ~iter:2 remap01);
+  (* Same locus, different target node: still vetoed (the tenure forbids
+     re-moving the copy, wherever it would go). *)
+  Alcotest.(check bool) "same copy, other node vetoed" true
+    (Tabu.Tenure.active t ~iter:2 (Tabu.Remap { pid = 0; copy = 1; nid = 0 }));
+  (* The pre-fix aliases must NOT be vetoed. *)
+  Alcotest.(check bool) "policy switch on same pid admissible" false
+    (Tabu.Tenure.active t ~iter:2 (Tabu.Set_policy { pid = 0; kind = Tabu.Repl }));
+  Alcotest.(check bool) "other copy of same pid admissible" false
+    (Tabu.Tenure.active t ~iter:2 (Tabu.Remap { pid = 0; copy = 0; nid = 2 }));
+  (* Policy switches likewise do not veto remaps. *)
+  Tabu.Tenure.mark t ~iter:1 ~tenure:8 (Tabu.Set_policy { pid = 3; kind = Tabu.Reexec });
+  Alcotest.(check bool) "policy mark vetoes policy" true
+    (Tabu.Tenure.active t ~iter:2 (Tabu.Set_policy { pid = 3; kind = Tabu.Repl }));
+  Alcotest.(check bool) "policy mark spares remap" false
+    (Tabu.Tenure.active t ~iter:2 (Tabu.Remap { pid = 3; copy = 0; nid = 1 }));
+  (* Tenure expiry: vetoed strictly before iter + tenure. *)
+  Alcotest.(check bool) "active just before expiry" true
+    (Tabu.Tenure.active t ~iter:8 remap01);
+  Alcotest.(check bool) "expired at iter + tenure" false
+    (Tabu.Tenure.active t ~iter:9 remap01)
+
+let test_dedup_moves () =
+  let a = Tabu.Remap { pid = 0; copy = 0; nid = 1 } in
+  let b = Tabu.Set_policy { pid = 1; kind = Tabu.Repl } in
+  let c = Tabu.Remap { pid = 2; copy = 1; nid = 0 } in
+  Alcotest.(check bool) "first occurrence kept, order preserved" true
+    (Tabu.dedup_moves [ a; b; a; c; b; a ] = [ a; b; c ]);
+  Alcotest.(check bool) "no duplicates untouched" true
+    (Tabu.dedup_moves [ c; b; a ] = [ c; b; a ]);
+  Alcotest.(check bool) "empty" true (Tabu.dedup_moves [] = [])
+
 let test_reassign_policy () =
   let p = Helpers.fig3_problem ~k:2 in
   let p' = Tabu.reassign_policy ~k:2 ~wcet:p.Problem.wcet p ~pid:0 Tabu.Repl in
@@ -294,6 +336,9 @@ let () =
             test_tabu_respects_nft_objective;
           Alcotest.test_case "aspiration by global best" `Quick
             test_tabu_aspiration_by_global_best;
+          Alcotest.test_case "tenure locus keying (aliasing regression)" `Quick
+            test_tenure_locus_no_aliasing;
+          Alcotest.test_case "dedup drawn moves" `Quick test_dedup_moves;
           Alcotest.test_case "reassign policy" `Quick test_reassign_policy;
           Alcotest.test_case "policy sweep" `Quick test_descent_policy_sweep;
           Alcotest.test_case "remap sweep" `Quick test_descent_remap_sweep;

@@ -144,6 +144,24 @@ let test_fig6_deterministic () =
   Helpers.check_float "same length" (Table.schedule_length t1)
     (Table.schedule_length t2)
 
+(* Golden pin for the priority-queue rewrite of the pending-reveal list:
+   the full Fig. 6 tables (both renderings) must stay byte-identical to
+   the output of the List.sort-based scheduler they replaced. Digests
+   captured from the pre-rewrite code. *)
+let test_fig6_golden_tables () =
+  let t = fig5_table () in
+  Alcotest.(check int) "entry count" 67 (Table.entry_count t);
+  Helpers.check_float "schedule length" 225. (Table.schedule_length t);
+  Alcotest.(check int) "tracks" 15 (List.length t.Table.tracks);
+  Alcotest.(check string) "Table.pp digest"
+    "d23e00e82a11db888d50fb5fb1cf5589"
+    (Digest.to_hex (Digest.string (Format.asprintf "%a" Table.pp t)));
+  Alcotest.(check string) "pp_matrix digest"
+    "6a4a468f0d89328483ce70b1e925d752"
+    (Digest.to_hex
+       (Digest.string
+          (Format.asprintf "%a" (Table.pp_matrix ~max_columns:24) t)))
+
 let test_conditional_k0 () =
   let p = Helpers.fig5_problem () in
   let policies =
@@ -425,6 +443,8 @@ let () =
           Alcotest.test_case "frozen single start" `Quick
             test_fig6_frozen_single_start;
           Alcotest.test_case "deterministic" `Quick test_fig6_deterministic;
+          Alcotest.test_case "golden tables (pqueue rewrite)" `Quick
+            test_fig6_golden_tables;
           Alcotest.test_case "k=0 degenerates" `Quick test_conditional_k0;
           Alcotest.test_case "deadline violations" `Quick
             test_conditional_deadline_violation;
