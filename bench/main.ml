@@ -11,14 +11,19 @@
 
    Timing of every sweep (jobs, wall seconds, scenarios/s where
    applicable) plus one per-phase wall-clock record is written as a
-   JSON array, BENCH_PR3.json by default. The "cache" section compares
-   a tabu-driven strategy run with and without the memoized
-   design-evaluation cache (Evalcache) and records the hit rate.
+   JSON object {"schema_version": N, "records": [...]}, BENCH_PR4.json
+   by default. The "cache" section compares a tabu-driven strategy run
+   with and without the memoized design-evaluation cache (Evalcache)
+   and records the hit rate; the "telemetry" section measures the
+   overhead of span/counter recording on the same search. With
+   "--trace FILE" the whole harness runs with telemetry enabled and
+   writes a Chrome trace-event JSON file at the end.
 *)
 
 module E = Ftes_core.Experiments
 module Chart = Ftes_util.Chart
 module Par = Ftes_util.Par
+module Telemetry = Ftes_util.Telemetry
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
@@ -40,13 +45,15 @@ let jobs =
           Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
             s;
           exit 2)
-let json_path = flag_value "--json" "BENCH_PR3.json" Fun.id
+let json_path = flag_value "--json" "BENCH_PR4.json" Fun.id
+let trace_path = flag_value "--trace" None (fun s -> Some s)
 
 let selected =
   let wanted =
     Array.to_list Sys.argv
     |> List.filter (fun a ->
            a = "ablation" || a = "validation" || a = "cache"
+           || a = "telemetry"
            || (String.length a > 3 && String.sub a 0 3 = "fig"))
   in
   fun name -> wanted = [] || List.mem name wanted
@@ -55,34 +62,47 @@ let selected =
 (* JSON timing records                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Every record in the output file goes through this one typed field
+   representation so the three record shapes (sweep timing, phase
+   timing, comparison records) stay structurally consistent. *)
+let schema_version = 4
+
+type jfield =
+  | JStr of string
+  | JInt of int
+  | JFloat of float  (* 6 decimals: wall-clock seconds *)
+  | JRate of float   (* 1 decimal: throughput *)
+  | JBool of bool
+
+let jfield_to_string = function
+  | JStr s -> Printf.sprintf "%S" s
+  | JInt i -> string_of_int i
+  | JFloat f -> Printf.sprintf "%.6f" f
+  | JRate f -> Printf.sprintf "%.1f" f
+  | JBool b -> string_of_bool b
+
 let json_records : string list ref = ref []
 
 let record_json fields =
   let body =
     String.concat ", "
-      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%S: %s" k (jfield_to_string v))
+         fields)
   in
-  json_records := Printf.sprintf "  {%s}" body :: !json_records
+  json_records := Printf.sprintf "    {%s}" body :: !json_records
 
 let record_timing ~name ~jobs ~wall_s ?scenarios_per_s () =
   record_json
-    ([
-       ("name", Printf.sprintf "%S" name);
-       ("jobs", string_of_int jobs);
-       ("wall_s", Printf.sprintf "%.6f" wall_s);
-     ]
+    ([ ("name", JStr name); ("jobs", JInt jobs); ("wall_s", JFloat wall_s) ]
     @
     match scenarios_per_s with
     | None -> []
-    | Some r -> [ ("scenarios_per_s", Printf.sprintf "%.1f" r) ])
+    | Some r -> [ ("scenarios_per_s", JRate r) ])
 
 let record_phase ~name ~wall_s =
   record_json
-    [
-      ("phase", Printf.sprintf "%S" name);
-      ("jobs", string_of_int jobs);
-      ("wall_s", Printf.sprintf "%.6f" wall_s);
-    ]
+    [ ("phase", JStr name); ("jobs", JInt jobs); ("wall_s", JFloat wall_s) ]
 
 (* Run one top-level phase of the harness and record its wall clock. *)
 let timed_phase name f =
@@ -92,9 +112,10 @@ let timed_phase name f =
 
 let write_json () =
   let oc = open_out json_path in
-  output_string oc "[\n";
+  Printf.fprintf oc "{\n  \"schema_version\": %d,\n  \"records\": [\n"
+    schema_version;
   output_string oc (String.concat ",\n" (List.rev !json_records));
-  output_string oc "\n]\n";
+  output_string oc "\n  ]\n}\n";
   close_out oc;
   Printf.printf "\nwrote %s (%d timing records)\n" json_path
     (List.length !json_records)
@@ -314,16 +335,96 @@ let run_cache_bench () =
   Format.printf "  cache:    %a@." Ftes_optim.Evalcache.pp_stats stats;
   record_json
     [
-      ("name", "\"tabu-cache\"");
-      ("jobs", string_of_int jobs);
-      ("wall_s_uncached", Printf.sprintf "%.6f" wall_uncached);
-      ("wall_s_cached", Printf.sprintf "%.6f" wall_cached);
-      ( "speedup",
-        Printf.sprintf "%.3f" (wall_uncached /. Float.max wall_cached 1e-9) );
-      ( "cache_hit_rate",
-        Printf.sprintf "%.4f" (Ftes_optim.Evalcache.hit_rate stats) );
-      ("cache_lookups", string_of_int stats.Ftes_optim.Evalcache.lookups);
-      ("identical", string_of_bool identical);
+      ("name", JStr "tabu-cache");
+      ("jobs", JInt jobs);
+      ("wall_s_uncached", JFloat wall_uncached);
+      ("wall_s_cached", JFloat wall_cached);
+      ("speedup", JFloat (wall_uncached /. Float.max wall_cached 1e-9));
+      ("cache_hit_rate", JFloat (Ftes_optim.Evalcache.hit_rate stats));
+      ("cache_lookups", JInt stats.Ftes_optim.Evalcache.lookups);
+      ("identical", JBool identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: same search with recording off and on           *)
+(* ------------------------------------------------------------------ *)
+
+let run_telemetry_bench () =
+  section
+    "Telemetry overhead - nft baseline + MXR with span/counter recording\n\
+     off and then on (same seed; trajectories are bit-identical because\n\
+     telemetry only observes the search, it never steers it)";
+  let processes = if quick then 12 else 25 in
+  let app, arch, wcet =
+    Ftes_workload.Gen.instance
+      { Ftes_workload.Gen.default with processes; nodes = 3; seed = 29 }
+  in
+  let inputs = { Ftes_optim.Strategy.app; arch; wcet; k = 2 } in
+  (* Sequential on purpose: with a domain pool the wall clock of a
+     sub-second search swings with host scheduling far more than with
+     the recording overhead being measured. The parallel path is
+     covered by the trajectory-identity tests across jobs values. *)
+  let opts =
+    {
+      Ftes_optim.Tabu.default_options with
+      Ftes_optim.Tabu.iterations = (if quick then 25 else 60);
+      jobs = 1;
+    }
+  in
+  let run_once () =
+    let nft = Ftes_optim.Strategy.nft_length ~opts inputs in
+    Ftes_optim.Strategy.run ~opts ~nft inputs Ftes_optim.Strategy.MXR
+  in
+  (* Paired samples after a warmup run: the searches take fractions of
+     a second, so isolated samples are dominated by scheduler and
+     allocator noise rather than by the recording overhead. Each
+     off/on pair runs back to back under the same machine conditions,
+     and the reported overhead is the median of the per-pair ratios,
+     which cancels the common-mode noise a min- or mean-of-samples
+     comparison is defenceless against. *)
+  let reps = 7 in
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    let o = run_once () in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.disable ();
+  ignore (run_once ());
+  let pairs =
+    List.init reps (fun _ ->
+        Telemetry.disable ();
+        let off, w_off = sample () in
+        Telemetry.enable ();
+        let on, w_on = sample () in
+        ((off, w_off), (on, w_on)))
+  in
+  if not was_enabled then Telemetry.disable ();
+  let median = Ftes_util.Stats.percentile 50. in
+  let wall_off = median (List.map (fun ((_, w), _) -> w) pairs) in
+  let wall_on = median (List.map (fun (_, (_, w)) -> w) pairs) in
+  let ratio = median (List.map (fun ((_, o), (_, n)) -> n /. o) pairs) in
+  let (off, _), (on, _) = List.hd pairs in
+  let identical =
+    off.Ftes_optim.Strategy.length = on.Ftes_optim.Strategy.length
+    && Ftes_optim.Evalcache.signature off.Ftes_optim.Strategy.problem
+       = Ftes_optim.Evalcache.signature on.Ftes_optim.Strategy.problem
+  in
+  let overhead_pct = (ratio -. 1.) *. 100. in
+  Printf.printf
+    "  instance: %d processes, 3 nodes, k=2; %d tabu iterations, %d job(s)\n"
+    processes opts.Ftes_optim.Tabu.iterations opts.Ftes_optim.Tabu.jobs;
+  Printf.printf "  telemetry off: %8.3f s\n" wall_off;
+  Printf.printf "  telemetry on:  %8.3f s  overhead %+.2f%%  identical: %b\n"
+    wall_on overhead_pct identical;
+  record_json
+    [
+      ("name", JStr "telemetry-overhead");
+      ("jobs", JInt opts.Ftes_optim.Tabu.jobs);
+      ("wall_s_off", JFloat wall_off);
+      ("wall_s_on", JFloat wall_on);
+      ("overhead_pct", JFloat overhead_pct);
+      ("identical", JBool identical);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -406,11 +507,19 @@ let () =
      Embedded Systems' (DATE 2008)\n";
   Printf.printf "mode: %s, jobs: %d\n" (if quick then "quick" else "full")
     jobs;
+  if trace_path <> None then Telemetry.enable ();
   timed_phase "figures" run_figures;
   if selected "ablation" then timed_phase "ablations" run_ablations;
   if selected "validation" then
     timed_phase "validation-scaling" run_validation_scaling;
   if selected "cache" then timed_phase "cache" run_cache_bench;
+  if selected "telemetry" then timed_phase "telemetry" run_telemetry_bench;
   timed_phase "micro" run_micro;
   write_json ();
+  (match trace_path with
+  | Some file ->
+      Telemetry.write_chrome_trace file;
+      Printf.printf "wrote %s\n" file
+  | None -> ());
+  Par.shutdown ();
   section "Done"

@@ -28,7 +28,7 @@ let generate processes nodes seed frozen_procs frozen_msgs k output =
   | None -> print_string text
   | Some path ->
       Ftes_dsl.Dsl.save path doc;
-      Printf.printf "wrote %s\n" path
+      Format.printf "wrote %s@." path
 
 let generate_cmd =
   let processes =
@@ -96,7 +96,18 @@ let strategy_conv =
   Arg.conv (parse, print)
 
 let synthesize path strategy fto checkpointing no_tables matrix validate
-    explain json jobs no_cache stats =
+    explain json jobs no_cache stats trace metrics =
+  if trace <> None || metrics then Ftes_util.Telemetry.enable ();
+  (* Emitted on every exit path, including validation failure. *)
+  let finish_telemetry () =
+    (match trace with
+    | Some file ->
+        Ftes_util.Telemetry.write_chrome_trace file;
+        Format.printf "wrote %s@." file
+    | None -> ());
+    if metrics then
+      Format.printf "@.-- telemetry --@.%a@." Ftes_util.Telemetry.pp_summary ()
+  in
   let doc = read_doc path in
   let cache =
     if no_cache then None else Some (Ftes_optim.Evalcache.create ())
@@ -173,9 +184,11 @@ let synthesize path strategy fto checkpointing no_tables matrix validate
             Format.printf "@.-- counterexample report --@.%a@."
               Ftes_sim.Diagnose.pp_report report
         | None -> ());
+      finish_telemetry ();
       exit 1
     end
-  end
+  end;
+  finish_telemetry ()
 
 let synthesize_cmd =
   let file =
@@ -231,11 +244,23 @@ let synthesize_cmd =
            ~doc:"Print evaluation-cache statistics (lookups, hit rate, \
                  evictions) after synthesis.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record telemetry spans and write a Chrome trace-event \
+                 JSON file, loadable in chrome://tracing or Perfetto.")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Record telemetry and print a per-phase summary \
+                 (span tree with totals and self-time, counters, \
+                 histograms) after synthesis.")
+  in
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:"Synthesize a fault-tolerant configuration and its tables.")
     Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
-          $ matrix $ validate $ explain $ json $ jobs $ no_cache $ stats)
+          $ matrix $ validate $ explain $ json $ jobs $ no_cache $ stats
+          $ trace $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

@@ -5,6 +5,7 @@ module Strategy = Ftes_optim.Strategy
 module Tabu = Ftes_optim.Tabu
 module Slack = Ftes_sched.Slack
 module Table = Ftes_sched.Table
+module Telemetry = Ftes_util.Telemetry
 
 type t = {
   problem : Problem.t;
@@ -36,6 +37,7 @@ let default_options =
 let try_tables ~conditional ~max_vertices problem =
   if not conditional then (None, None)
   else
+    Telemetry.with_span ~cat:"core" "synthesize.tables" @@ fun () ->
     match Ftcpg.build ~max_vertices problem with
     | exception Ftcpg.Too_large _ -> (None, None)
     | ftcpg -> (
@@ -50,6 +52,16 @@ let of_problem ?(conditional = true) ?(max_vertices = 20_000) problem =
   { problem; estimate; ftcpg; table; fto = None }
 
 let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
+  let args =
+    (* Only pay for the attribute list when telemetry is recording. *)
+    if Telemetry.enabled () then
+      [
+        ("strategy", Telemetry.Str (Strategy.name_to_string options.strategy));
+        ("k", Telemetry.Int k);
+      ]
+    else []
+  in
+  Telemetry.with_span ~cat:"core" ~args "synthesize" @@ fun () ->
   let inputs = { Strategy.app; arch; wcet; k } in
   let nft =
     if options.compute_fto then
@@ -59,11 +71,15 @@ let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
   let outcome = Strategy.run ~opts:options.tabu ?nft inputs options.strategy in
   let problem =
     if options.checkpointing then
-      Ftes_optim.Checkpoint.global_optimize ?cache:options.tabu.Tabu.cache
-        outcome.Strategy.problem
+      Telemetry.with_span ~cat:"core" "synthesize.checkpointing" (fun () ->
+          Ftes_optim.Checkpoint.global_optimize ?cache:options.tabu.Tabu.cache
+            outcome.Strategy.problem)
     else outcome.Strategy.problem
   in
-  let estimate = Slack.evaluate problem in
+  let estimate =
+    Telemetry.with_span ~cat:"core" "synthesize.estimate" (fun () ->
+        Slack.evaluate problem)
+  in
   let ftcpg, table =
     try_tables ~conditional:options.conditional
       ~max_vertices:options.max_vertices problem

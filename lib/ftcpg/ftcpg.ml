@@ -70,6 +70,7 @@ let add_vertex b ~kind ~name ~guard ~duration ~conditional ~exec_node
   vid
 
 let build ?(max_vertices = 50_000) (problem : Problem.t) =
+  Ftes_util.Telemetry.with_span ~cat:"ftcpg" "ftcpg.build" @@ fun () ->
   let g = Problem.graph problem in
   let app = problem.Problem.app in
   let transparency = app.App.transparency in
@@ -264,6 +265,8 @@ let build ?(max_vertices = 50_000) (problem : Problem.t) =
   let vertices =
     Array.map (fun v -> { v with succs = List.rev succs.(v.vid) }) vertices
   in
+  Ftes_util.Telemetry.set_gauge "ftcpg.vertices"
+    (float_of_int (Array.length vertices));
   {
     problem;
     vertices;

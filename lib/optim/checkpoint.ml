@@ -2,6 +2,10 @@ module Problem = Ftes_ftcpg.Problem
 module Policy = Ftes_app.Policy
 module Fttime = Ftes_app.Fttime
 module Graph = Ftes_app.Graph
+module Telemetry = Ftes_util.Telemetry
+
+let c_passes = Telemetry.counter "checkpoint.passes"
+let c_accepted = Telemetry.counter "checkpoint.accepted"
 
 let worst_case ~c o ~k ~checkpoints =
   Fttime.worst_case_length ~c o ~checkpoints ~recoveries:k
@@ -48,6 +52,7 @@ let assign_local ?max_checkpoints problem =
         local_optimum ?max_checkpoints ~c o ~k:plan.Policy.recoveries)
 
 let global_optimize ?cache ?(max_checkpoints = 100) ?(max_passes = 32) problem =
+  Telemetry.with_span ~cat:"optim" "checkpoint.global_optimize" @@ fun () ->
   let g = Problem.graph problem in
   let nprocs = Graph.process_count g in
   let objective p =
@@ -72,6 +77,7 @@ let global_optimize ?cache ?(max_checkpoints = 100) ?(max_passes = 32) problem =
         if len < !best_len -. 1e-9 then begin
           best := cand;
           best_len := len;
+          Telemetry.incr c_accepted;
           true
         end
         else false
@@ -88,6 +94,7 @@ let global_optimize ?cache ?(max_checkpoints = 100) ?(max_passes = 32) problem =
   let rec pass i =
     if i >= max_passes then !best
     else begin
+      Telemetry.incr c_passes;
       let improved = ref false in
       for pid = 0 to nprocs - 1 do
         for copy = 0 to max_copies - 1 do

@@ -2,6 +2,9 @@ module Problem = Ftes_ftcpg.Problem
 module Mapping = Ftes_ftcpg.Mapping
 module Graph = Ftes_app.Graph
 module Wcet = Ftes_arch.Wcet
+module Telemetry = Ftes_util.Telemetry
+
+let c_rounds = Telemetry.counter "descent.rounds"
 
 let objective ?cache p =
   match cache with
@@ -37,6 +40,7 @@ let policy_sweep ?cache ?(kinds = [ Tabu.Reexec; Tabu.Repl; Tabu.Combined ])
   let rec round i best best_len =
     if i >= max_rounds then best
     else begin
+      Telemetry.incr c_rounds;
       let chosen = ref None in
       List.iter
         (fun pid ->
@@ -60,7 +64,8 @@ let policy_sweep ?cache ?(kinds = [ Tabu.Reexec; Tabu.Repl; Tabu.Combined ])
       | Some (cand, len) -> round (i + 1) cand len
     end
   in
-  round 0 problem (objective problem)
+  Telemetry.with_span ~cat:"optim" "descent.policy_sweep" (fun () ->
+      round 0 problem (objective problem))
 
 let remap_sweep ?cache ?max_rounds problem =
   let g = Problem.graph problem in
@@ -71,6 +76,7 @@ let remap_sweep ?cache ?max_rounds problem =
   let rec round i best best_len =
     if i >= max_rounds then best
     else begin
+      Telemetry.incr c_rounds;
       let chosen = ref None in
       for pid = 0 to nprocs - 1 do
         let copies = Mapping.copy_count best.Problem.mapping ~pid in
@@ -104,4 +110,5 @@ let remap_sweep ?cache ?max_rounds problem =
       | Some (cand, len) -> round (i + 1) cand len
     end
   in
-  round 0 problem (objective problem)
+  Telemetry.with_span ~cat:"optim" "descent.remap_sweep" (fun () ->
+      round 0 problem (objective problem))

@@ -6,6 +6,17 @@ module Mapping = Ftes_ftcpg.Mapping
 module Policy = Ftes_app.Policy
 module Graph = Ftes_app.Graph
 module Slack = Ftes_sched.Slack
+module Telemetry = Ftes_util.Telemetry
+
+(* Process-wide telemetry counters mirroring the per-cache [stats]
+   record (test_telemetry pins that the two agree for a single cache).
+   Registration is free; the increments are gated on the telemetry
+   switch inside [Telemetry.incr]. *)
+let c_hits = Telemetry.counter "evalcache.hits"
+let c_misses = Telemetry.counter "evalcache.misses"
+let c_inserts = Telemetry.counter "evalcache.inserts"
+let c_evictions = Telemetry.counter "evalcache.evictions"
+let c_bypasses = Telemetry.counter "evalcache.bypasses"
 
 type stats = {
   lookups : int;
@@ -117,6 +128,7 @@ let rec claim_universe t p =
 let evaluate ?(ft = true) t (p : Problem.t) =
   if not (claim_universe t p) then begin
     Atomic.incr t.bypasses;
+    Telemetry.incr c_bypasses;
     Slack.evaluate ~ft p
   end
   else begin
@@ -128,6 +140,9 @@ let evaluate ?(ft = true) t (p : Problem.t) =
     | Some _ -> shard.hits <- shard.hits + 1
     | None -> shard.misses <- shard.misses + 1);
     Mutex.unlock shard.lock;
+    (match cached with
+    | Some _ -> Telemetry.incr c_hits
+    | None -> Telemetry.incr c_misses);
     match cached with
     | Some r -> r
     | None ->
@@ -149,11 +164,13 @@ let evaluate ?(ft = true) t (p : Problem.t) =
             match Queue.take_opt shard.order with
             | Some victim ->
                 Hashtbl.remove shard.table victim;
-                shard.evictions <- shard.evictions + 1
+                shard.evictions <- shard.evictions + 1;
+                Telemetry.incr c_evictions
             | None -> ());
           Hashtbl.add shard.table key r;
           Queue.push key shard.order;
-          shard.inserts <- shard.inserts + 1
+          shard.inserts <- shard.inserts + 1;
+          Telemetry.incr c_inserts
         end;
         Mutex.unlock shard.lock;
         r

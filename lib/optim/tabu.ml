@@ -4,6 +4,18 @@ module Policy = Ftes_app.Policy
 module Graph = Ftes_app.Graph
 module Wcet = Ftes_arch.Wcet
 module Rng = Ftes_util.Rng
+module Telemetry = Ftes_util.Telemetry
+
+(* Search-trajectory telemetry. Counters are process-wide; the per-run
+   story lives in the [tabu.optimize] / [tabu.iter] spans. Recording is
+   observation only: nothing below reads a recorded value, so the
+   trajectory is bit-identical with telemetry on or off. *)
+let c_iterations = Telemetry.counter "tabu.iterations"
+let c_moves_evaluated = Telemetry.counter "tabu.moves_evaluated"
+let c_accepted = Telemetry.counter "tabu.accepted"
+let c_improved = Telemetry.counter "tabu.improved"
+let c_aspirations = Telemetry.counter "tabu.aspirations"
+let c_stalls = Telemetry.counter "tabu.stalls"
 
 type policy_kind = Reexec | Repl | Combined
 
@@ -162,7 +174,7 @@ let random_move rng opts problem =
     | [] -> None
     | _ -> Some (Remap { pid; copy; nid = Rng.pick_list rng allowed })
 
-let optimize opts problem =
+let optimize_body opts problem =
   let rng = Rng.create opts.seed in
   let k = problem.Problem.k in
   let wcet = problem.Problem.wcet in
@@ -176,61 +188,94 @@ let optimize opts problem =
   let best_len = ref (objective problem) in
   let current = ref problem in
   let stall = ref 0 in
+  let step iter =
+    Telemetry.incr c_iterations;
+    (* Sample candidate moves, keep the best admissible one. The
+       moves are drawn sequentially (the rng stream is the same for
+       every [jobs] value), the expensive part — applying each move
+       and evaluating the schedule-length objective — fans out over
+       the domain pool, and the fold below replays the sequential
+       first-wins tie-breaking in draw order, so the accept decision
+       is identical to the [jobs = 1] run. *)
+    let drawn = ref [] in
+    for _ = 1 to opts.sample do
+      match random_move rng opts !current with
+      | None -> ()
+      | Some mv -> drawn := mv :: !drawn
+    done;
+    let evaluated =
+      Ftes_util.Par.map ~jobs:opts.jobs
+        (fun mv ->
+          match apply_move ~k ~wcet !current mv with
+          | exception Invalid_argument _ -> None
+          | cand -> Some (mv, cand, objective cand))
+        (dedup_moves (List.rev !drawn))
+    in
+    if Telemetry.enabled () then
+      Telemetry.add c_moves_evaluated (List.length evaluated);
+    let chosen = ref None in
+    List.iter
+      (function
+        | None -> ()
+        | Some (mv, cand, len) ->
+            (* Aspiration compares against the global best: a tabu
+               move is admissible only when it beats the best length
+               seen so far (not merely the current schedule). *)
+            let admissible =
+              (not (Tenure.active tabu ~iter mv))
+              || len < !best_len -. 1e-9
+            in
+            if admissible then
+              let better =
+                match !chosen with
+                | None -> true
+                | Some (_, _, l) -> len < l
+              in
+              if better then chosen := Some (mv, cand, len))
+      evaluated;
+    match !chosen with
+    | None ->
+        incr stall;
+        Telemetry.incr c_stalls
+    | Some (mv, cand, len) ->
+        Telemetry.incr c_accepted;
+        if Tenure.active tabu ~iter mv then Telemetry.incr c_aspirations;
+        current := cand;
+        Tenure.mark tabu ~iter ~tenure:opts.tenure mv;
+        if len < !best_len -. 1e-9 then begin
+          best := cand;
+          best_len := len;
+          stall := 0;
+          Telemetry.incr c_improved;
+          Telemetry.set_gauge "tabu.best_len" len
+        end
+        else incr stall;
+        Telemetry.set_gauge "tabu.tenure_entries"
+          (float_of_int (Hashtbl.length tabu))
+  in
   (try
      for iter = 1 to opts.iterations do
        if !stall > opts.stall_limit then raise Exit;
-       (* Sample candidate moves, keep the best admissible one. The
-          moves are drawn sequentially (the rng stream is the same for
-          every [jobs] value), the expensive part — applying each move
-          and evaluating the schedule-length objective — fans out over
-          the domain pool, and the fold below replays the sequential
-          first-wins tie-breaking in draw order, so the accept decision
-          is identical to the [jobs = 1] run. *)
-       let drawn = ref [] in
-       for _ = 1 to opts.sample do
-         match random_move rng opts !current with
-         | None -> ()
-         | Some mv -> drawn := mv :: !drawn
-       done;
-       let evaluated =
-         Ftes_util.Par.map ~jobs:opts.jobs
-           (fun mv ->
-             match apply_move ~k ~wcet !current mv with
-             | exception Invalid_argument _ -> None
-             | cand -> Some (mv, cand, objective cand))
-           (dedup_moves (List.rev !drawn))
-       in
-       let chosen = ref None in
-       List.iter
-         (function
-           | None -> ()
-           | Some (mv, cand, len) ->
-               (* Aspiration compares against the global best: a tabu
-                  move is admissible only when it beats the best length
-                  seen so far (not merely the current schedule). *)
-               let admissible =
-                 (not (Tenure.active tabu ~iter mv))
-                 || len < !best_len -. 1e-9
-               in
-               if admissible then
-                 let better =
-                   match !chosen with
-                   | None -> true
-                   | Some (_, _, l) -> len < l
-                 in
-                 if better then chosen := Some (mv, cand, len))
-         evaluated;
-       match !chosen with
-       | None -> incr stall
-       | Some (mv, cand, len) ->
-           current := cand;
-           Tenure.mark tabu ~iter ~tenure:opts.tenure mv;
-           if len < !best_len -. 1e-9 then begin
-             best := cand;
-             best_len := len;
-             stall := 0
-           end
-           else incr stall
+       if Telemetry.enabled () then
+         Telemetry.with_span ~cat:"optim"
+           ~args:[ ("iter", Telemetry.Int iter) ]
+           "tabu.iter"
+           (fun () -> step iter)
+       else step iter
      done
    with Exit -> ());
   (!best, !best_len)
+
+let optimize opts problem =
+  if Telemetry.enabled () then
+    Telemetry.with_span ~cat:"optim"
+      ~args:
+        [
+          ("iterations", Telemetry.Int opts.iterations);
+          ("sample", Telemetry.Int opts.sample);
+          ("jobs", Telemetry.Int opts.jobs);
+          ("seed", Telemetry.Int opts.seed);
+        ]
+      "tabu.optimize"
+      (fun () -> optimize_body opts problem)
+  else optimize_body opts problem

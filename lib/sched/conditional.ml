@@ -5,6 +5,9 @@ module Graph = Ftes_app.Graph
 module Arch = Ftes_arch.Arch
 module Bus = Ftes_arch.Bus
 module Imap = Map.Make (Int)
+module Telemetry = Ftes_util.Telemetry
+
+let c_fix_iterations = Telemetry.counter "sched.fix_iterations"
 
 type params = { cond_size : float; max_tracks : int; max_fix_iters : int }
 
@@ -48,6 +51,7 @@ let priorities ftcpg =
   pcp
 
 let schedule ?(params = default_params) ftcpg =
+  Telemetry.with_span ~cat:"sched" "sched.conditional" @@ fun () ->
   let problem = Ftcpg.problem ftcpg in
   let k = problem.Problem.k in
   let g = Problem.graph problem in
@@ -350,6 +354,7 @@ let schedule ?(params = default_params) ftcpg =
 
   let rec iterate iter =
     if iter > params.max_fix_iters then raise (Fixpoint_diverged iter);
+    Telemetry.incr c_fix_iterations;
     Hashtbl.reset demands;
     leaf_count := 0;
     let results = run (initial_state ()) in
@@ -364,9 +369,16 @@ let schedule ?(params = default_params) ftcpg =
             Hashtbl.replace fixed vid t)
       demands;
     if !changed then iterate (iter + 1)
-    else
+    else begin
       let entries = List.concat_map (fun (es, _) -> List.rev es) results in
       let tracks = List.map snd results in
+      if Telemetry.enabled () then begin
+        Telemetry.set_gauge "sched.tracks"
+          (float_of_int (List.length tracks));
+        Telemetry.set_gauge "sched.entries"
+          (float_of_int (List.length entries))
+      end;
       Table.make ~ftcpg ~entries ~tracks
+    end
   in
   iterate 1

@@ -6,6 +6,10 @@ module Graph = Ftes_app.Graph
 module App = Ftes_app.App
 module Arch = Ftes_arch.Arch
 module Bus = Ftes_arch.Bus
+module Telemetry = Ftes_util.Telemetry
+
+let c_scenarios = Telemetry.counter "sim.scenarios"
+let c_violations = Telemetry.counter "sim.violations"
 
 type event = { time : float; what : string }
 
@@ -322,7 +326,12 @@ let frozen_start_violations table =
    sequential run for every [jobs] value. *)
 let replay ?jobs table scenarios =
   Ftes_util.Par.concat_map ?jobs
-    (fun s -> (run table ~scenario:s).violations)
+    (fun s ->
+      Telemetry.incr c_scenarios;
+      let vs = (run table ~scenario:s).violations in
+      if Telemetry.enabled () && vs <> [] then
+        Telemetry.add c_violations (List.length vs);
+      vs)
     scenarios
 
 (* Early-exit replay: scenarios are consumed in fixed-size batches (the
@@ -350,14 +359,21 @@ let replay_until ?jobs ~limit table scenarios =
   go [] 0 scenarios
 
 let check_scenarios ?jobs ?stop_after table scenarios =
-  match stop_after with
-  | Some limit when limit > 0 ->
-      let vs = replay_until ?jobs ~limit table scenarios in
-      (* The transparency check only runs when scenario replay did not
-         already prove the table bad. *)
-      if List.length vs >= limit then vs
-      else vs @ frozen_start_violations table
-  | _ -> replay ?jobs table scenarios @ frozen_start_violations table
+  let body () =
+    match stop_after with
+    | Some limit when limit > 0 ->
+        let vs = replay_until ?jobs ~limit table scenarios in
+        (* The transparency check only runs when scenario replay did not
+           already prove the table bad. *)
+        if List.length vs >= limit then vs
+        else vs @ frozen_start_violations table
+    | _ -> replay ?jobs table scenarios @ frozen_start_violations table
+  in
+  if Telemetry.enabled () then
+    Telemetry.with_span ~cat:"sim"
+      ~args:[ ("scenarios", Telemetry.Int (List.length scenarios)) ]
+      "sim.validate" body
+  else body ()
 
 let validate ?jobs ?stop_after table =
   check_scenarios ?jobs ?stop_after table (Ftcpg.scenarios table.Table.ftcpg)

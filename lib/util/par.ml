@@ -40,6 +40,8 @@ type job = {
   completed : int Atomic.t;
   max_workers : int;
   participants : int Atomic.t;
+  published : float;  (* publish wall clock for the telemetry queue-wait
+                         histogram; nan while telemetry is disabled *)
 }
 
 type pool = {
@@ -60,6 +62,15 @@ let pool =
     shutdown = false;
     workers = [];
   }
+
+(* Telemetry: fan-out sizes, worker queue waits (publish -> first pull)
+   and per-worker busy spans. All gated on the telemetry switch. *)
+let h_fanout =
+  Telemetry.histogram
+    ~bounds:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+    "par.fanout"
+
+let h_queue_wait = Telemetry.histogram "par.queue_wait_s"
 
 let run_tasks (j : job) =
   let rec loop () =
@@ -87,7 +98,15 @@ let worker_body () =
       Mutex.unlock pool.lock;
       (match j with
       | Some j when Atomic.fetch_and_add j.participants 1 < j.max_workers ->
-          run_tasks j
+          if Telemetry.enabled () then begin
+            if Float.is_finite j.published then
+              Telemetry.observe h_queue_wait
+                (Unix.gettimeofday () -. j.published);
+            Telemetry.with_span ~cat:"par"
+              ~args:[ ("tasks", Telemetry.Int j.n) ]
+              "par.worker" (fun () -> run_tasks j)
+          end
+          else run_tasks j
       | _ -> ());
       loop ()
     end
@@ -103,18 +122,30 @@ let ensure_workers want =
     pool.workers <- Domain.spawn worker_body :: pool.workers
   done
 
-let shutdown_pool () =
+let shutdown () =
   Mutex.lock pool.lock;
   pool.shutdown <- true;
   Condition.broadcast pool.wake;
   let ws = pool.workers in
   pool.workers <- [];
   Mutex.unlock pool.lock;
-  List.iter Domain.join ws
+  List.iter Domain.join ws;
+  (* Re-arm the pool: a later parallel call may lazily respawn workers.
+     An explicit shutdown is therefore safe to call from test and bench
+     mains without poisoning any code that runs after it. *)
+  Mutex.lock pool.lock;
+  pool.shutdown <- false;
+  Mutex.unlock pool.lock
 
-let () = at_exit shutdown_pool
+let () = at_exit shutdown
 
-let run_pool ~jobs ~n ~(task : int -> unit) =
+let pool_size () =
+  Mutex.lock pool.lock;
+  let n = List.length pool.workers in
+  Mutex.unlock pool.lock;
+  n
+
+let run_pool_impl ~jobs ~n ~(task : int -> unit) =
   let error : exn option Atomic.t = Atomic.make None in
   let task i =
     (* Once a task has raised, the remaining indices are still claimed
@@ -133,12 +164,17 @@ let run_pool ~jobs ~n ~(task : int -> unit) =
       completed = Atomic.make 0;
       max_workers = jobs - 1;
       participants = Atomic.make 0;
+      published =
+        (if Telemetry.enabled () then Unix.gettimeofday () else Float.nan);
     }
   in
+  Telemetry.observe h_fanout (float_of_int n);
   Mutex.lock pool.lock;
   let parked = not pool.shutdown in
   if parked then begin
     ensure_workers (jobs - 1);
+    Telemetry.set_gauge "par.pool_size"
+      (float_of_int (List.length pool.workers));
     pool.job <- Some j;
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.wake
@@ -165,6 +201,17 @@ let run_pool ~jobs ~n ~(task : int -> unit) =
     Mutex.unlock pool.lock
   end;
   match Atomic.get error with Some e -> raise e | None -> ()
+
+(* The dispatch span shows each fan-out on the calling domain's track;
+   gated here (not just inside with_span) so the disabled path does not
+   even allocate the args list. *)
+let run_pool ~jobs ~n ~task =
+  if Telemetry.enabled () then
+    Telemetry.with_span ~cat:"par"
+      ~args:[ ("tasks", Telemetry.Int n); ("jobs", Telemetry.Int jobs) ]
+      "par.dispatch"
+      (fun () -> run_pool_impl ~jobs ~n ~task)
+  else run_pool_impl ~jobs ~n ~task
 
 let map_array ?jobs f input =
   let n = Array.length input in

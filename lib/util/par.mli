@@ -54,3 +54,14 @@ val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val in_worker : unit -> bool
 (** True when called from inside a [Par] worker domain (where nested
     [Par] calls run sequentially). Exposed for tests and diagnostics. *)
+
+val pool_size : unit -> int
+(** Number of parked worker domains currently alive (excluding the
+    calling domain). Also published as the [par.pool_size] telemetry
+    gauge on every fan-out. *)
+
+val shutdown : unit -> unit
+(** Join every parked worker domain. Call from a test or bench main
+    before exit so the run does not leak parked domains; an [at_exit]
+    hook calls it as a backstop. The pool re-arms itself: a parallel
+    call issued after [shutdown] lazily respawns workers. *)

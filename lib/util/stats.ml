@@ -37,3 +37,20 @@ let percentile p xs =
 
 let percent_deviation ~baseline v =
   if baseline = 0. then 0. else (v -. baseline) /. baseline *. 100.
+
+let histogram ~bounds xs =
+  let n = List.length bounds in
+  if n = 0 then invalid_arg "Stats.histogram: empty bounds";
+  let b = Array.of_list bounds in
+  for i = 1 to n - 1 do
+    if b.(i) <= b.(i - 1) then
+      invalid_arg "Stats.histogram: bounds not strictly increasing"
+  done;
+  let counts = Array.make (n + 1) 0 in
+  List.iter
+    (fun x ->
+      let rec find i = if i >= n || x <= b.(i) then i else find (i + 1) in
+      let i = find 0 in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  counts

@@ -19,3 +19,12 @@ val percentile : float -> float list -> float
 
 val percent_deviation : baseline:float -> float -> float
 (** [(v - baseline) / baseline * 100.]; 0. when [baseline = 0.]. *)
+
+val histogram : bounds:float list -> float list -> int array
+(** [histogram ~bounds xs] buckets [xs] by the ascending upper bounds:
+    the result has [List.length bounds + 1] cells, cell [i] counting the
+    values [x] with [bounds.(i-1) < x <= bounds.(i)] and the final cell
+    counting the overflow ([x] above the last bound). Used by the
+    {!Telemetry} exporters.
+    @raise Invalid_argument when [bounds] is empty or not strictly
+    increasing. *)

@@ -1,0 +1,136 @@
+(** Process-wide, domain-safe instrumentation: spans, counters, gauges
+    and latency histograms, with a human summary tree and a Chrome
+    trace-event JSON exporter.
+
+    The synthesis flow is a multi-phase pipeline — FT-CPG generation,
+    policy/mapping optimization, conditional scheduling, fault-injection
+    validation — fanned out over the {!Par} domain pool. This module
+    makes a run observable end to end: every phase opens a {e span}
+    (recorded into a per-domain append-only buffer, so recording never
+    takes a lock), hot components bump {e counters} (atomic ints), and
+    the pool reports fan-out sizes and queue waits into {e histograms}.
+
+    {b Pay for what you use.} Recording is gated by a single process-wide
+    atomic flag, off by default: with telemetry disabled, {!with_span}
+    costs one atomic load and a branch before calling its thunk, and
+    counter increments cost the same. Nothing is allocated and no clock
+    is read until {!enable} is called.
+
+    {b Determinism.} Telemetry observes; it never steers. No RNG is
+    consumed, no ordering is changed, no result depends on a recorded
+    value — search trajectories are bit-identical with telemetry on or
+    off and for every [jobs] value (pinned by [test/test_telemetry.ml],
+    the same discipline as the evaluation cache).
+
+    {b Domain safety.} Each domain owns one event buffer (registered
+    once, via [Domain.DLS]); only the owning domain appends to it.
+    Counters and histogram buckets are [Atomic] cells. The exporters
+    read the buffers of parked or finished domains; export while worker
+    domains are actively recording is not supported (the [Par] pool is
+    idle between calls, so exporting after a run is always safe).
+
+    {b Clock.} Timestamps come from [Unix.gettimeofday], clamped to be
+    non-decreasing per buffer; span nesting therefore always has
+    children contained within their parents. *)
+
+(** {1 Recording switch} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** True between {!enable} and {!disable}. Read this before computing
+    anything that exists only to be recorded (e.g. a [List.length] fed
+    to {!add}). *)
+
+val reset : unit -> unit
+(** Drop all recorded events and zero every counter, gauge and
+    histogram (registrations survive). Call only while no other domain
+    is recording — i.e. between [Par] fan-outs. *)
+
+(** {1 Spans} *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+(** Attribute values attached to a span. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span: a begin event is
+    recorded in the calling domain's buffer (with a fresh span id and
+    the id of the enclosing span as parent), and the matching end event
+    is recorded when [f] returns {e or raises} (the exception is
+    re-raised). With telemetry disabled this is [f ()] after one branch.
+    [cat] is the Chrome trace category (defaults to ["ftes"]); [args]
+    become the trace event's arguments. *)
+
+(** {1 Counters, gauges, histograms} *)
+
+type counter
+
+val counter : string -> counter
+(** Intern the process-wide counter [name] (idempotent: the same name
+    always yields the same cell). Registration is cheap and allowed
+    while disabled — modules create their counters at init time. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** No-ops while disabled. *)
+
+val counter_value : counter -> int
+
+val set_gauge : string -> float -> unit
+(** Record the latest value of a named gauge (no-op while disabled). *)
+
+type histogram
+
+val histogram : ?bounds:float array -> string -> histogram
+(** Intern a fixed-bucket histogram. [bounds] are ascending bucket upper
+    bounds (default: exponential decades from 1e-6 to 1e2, suited to
+    latencies in seconds); values above the last bound land in an
+    overflow bucket.
+    @raise Invalid_argument if [bounds] is empty or not strictly
+    increasing, or if the name was registered with different bounds. *)
+
+val observe : histogram -> float -> unit
+(** No-op while disabled. *)
+
+(** {1 Inspection (tests, exporters)} *)
+
+type event =
+  | Begin of {
+      id : int;
+      parent : int;  (** 0 when the span is a root of its domain. *)
+      name : string;
+      cat : string;
+      ts : float;  (** seconds, non-decreasing within a buffer *)
+      args : (string * value) list;
+    }
+  | End of { id : int; ts : float }
+
+val dump : unit -> (int * event list) list
+(** Recorded events per domain (domain id, events in recording order),
+    sorted by domain id. *)
+
+val counters : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+(** Gauges that have been set since the last {!reset}, sorted by name. *)
+
+(** {1 Exporters} *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable report: the span tree aggregated by name within
+    parent (total wall time, self time, call count), then counters,
+    gauges and histograms. Histogram percentiles are approximated from
+    the bucket midpoints with {!Stats.percentile}. *)
+
+val to_chrome_json : unit -> string
+(** The recorded events as Chrome trace-event JSON (array format): one
+    [B]/[E] pair per span with [tid] = domain id (one track per domain),
+    thread-name metadata per track, and one [C] (counter) sample per
+    registered counter at the end of the trace. Load the result in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val write_chrome_trace : string -> unit
+(** {!to_chrome_json} written to a file. *)

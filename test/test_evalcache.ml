@@ -275,4 +275,5 @@ let () =
             test_foreign_universe_bypasses;
           Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
         ] );
-    ]
+    ];
+  Ftes_util.Par.shutdown ()

@@ -318,4 +318,5 @@ let () =
           Alcotest.test_case "monotonicity + mission" `Quick
             test_reliability_monotone;
         ] );
-    ]
+    ];
+  Ftes_util.Par.shutdown ()

@@ -150,4 +150,5 @@ let () =
           Alcotest.test_case "tabu jobs=4 = jobs=1" `Quick
             test_tabu_jobs_identical;
         ] );
-    ]
+    ];
+  Ftes_util.Par.shutdown ()

@@ -88,4 +88,5 @@ let () =
     [
       ( "synthesis-oracle",
         [ Alcotest.test_case "25 seeded specs validate" `Slow test_oracle ] );
-    ]
+    ];
+  Ftes_util.Par.shutdown ()

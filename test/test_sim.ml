@@ -461,4 +461,5 @@ let () =
           Alcotest.test_case "clean table" `Quick test_stop_after_clean_table;
         ] );
       ("fuzz", sim_props);
-    ]
+    ];
+  Ftes_util.Par.shutdown ()

@@ -186,6 +186,39 @@ let test_stats_percentile () =
   Helpers.check_float "p50" 50. (Stats.percentile 50. xs);
   Helpers.check_float "p100" 100. (Stats.percentile 100. xs)
 
+let test_stats_percentile_edges () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Helpers.check_float "p0" 1. (Stats.percentile 0. xs);
+  Helpers.check_float "p1" 1. (Stats.percentile 1. xs);
+  Helpers.check_float "p99" 99. (Stats.percentile 99. xs);
+  Helpers.check_float "single sample" 7. (Stats.percentile 50. [ 7. ]);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Stats.percentile 50. []))
+
+let test_stats_histogram () =
+  (* Bucket i spans (bounds.(i-1), bounds.(i)]; the last cell counts
+     overflow above the final bound. *)
+  Alcotest.(check (array int))
+    "counts" [| 2; 2; 1; 1 |]
+    (Stats.histogram ~bounds:[ 1.; 10.; 100. ]
+       [ 0.5; 1.; 1.5; 10.; 50.; 1000. ]);
+  Alcotest.(check (array int))
+    "boundary value lands in the lower bucket" [| 1; 0; 0; 0 |]
+    (Stats.histogram ~bounds:[ 5.; 6.; 7. ] [ 5. ]);
+  Alcotest.(check (array int))
+    "no samples" [| 0; 0 |]
+    (Stats.histogram ~bounds:[ 1. ] []);
+  Alcotest.check_raises "empty bounds"
+    (Invalid_argument "Stats.histogram: empty bounds") (fun () ->
+      ignore (Stats.histogram ~bounds:[] [ 1. ]));
+  Alcotest.check_raises "unsorted bounds"
+    (Invalid_argument "Stats.histogram: bounds not strictly increasing")
+    (fun () -> ignore (Stats.histogram ~bounds:[ 2.; 1. ] [ 1. ]));
+  Alcotest.check_raises "duplicate bounds"
+    (Invalid_argument "Stats.histogram: bounds not strictly increasing")
+    (fun () -> ignore (Stats.histogram ~bounds:[ 1.; 1. ] [ 1. ]))
+
 let test_stats_percent_deviation () =
   Helpers.check_float "deviation" 50. (Stats.percent_deviation ~baseline:100. 150.);
   Helpers.check_float "zero baseline" 0. (Stats.percent_deviation ~baseline:0. 5.)
@@ -201,6 +234,12 @@ let stats_props =
     Helpers.qtest "stdev non-negative"
       QCheck.(list (float_range (-100.) 100.))
       (fun xs -> Stats.stdev xs >= 0.);
+    Helpers.qtest "histogram counts every sample once"
+      QCheck.(list (float_range (-10.) 1000.))
+      (fun xs ->
+        Array.fold_left ( + ) 0
+          (Stats.histogram ~bounds:[ 0.; 1.; 10.; 100. ] xs)
+        = List.length xs);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -276,6 +315,9 @@ let () =
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile edges" `Quick
+            test_stats_percentile_edges;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "percent deviation" `Quick
             test_stats_percent_deviation;
         ]
