@@ -11,11 +11,13 @@
 
    Timing of every sweep (jobs, wall seconds, scenarios/s where
    applicable) plus one per-phase wall-clock record is written as a
-   JSON object {"schema_version": N, "records": [...]}, BENCH_PR4.json
+   JSON object {"schema_version": N, "records": [...]}, BENCH_PR5.json
    by default. The "cache" section compares a tabu-driven strategy run
    with and without the memoized design-evaluation cache (Evalcache)
    and records the hit rate; the "telemetry" section measures the
-   overhead of span/counter recording on the same search. With
+   overhead of span/counter recording on the same search; the "sched"
+   section sweeps conditional scheduling (vertices x k x jobs) against
+   the reference scheduler and checks byte-identical tables. With
    "--trace FILE" the whole harness runs with telemetry enabled and
    writes a Chrome trace-event JSON file at the end.
 *)
@@ -45,7 +47,7 @@ let jobs =
           Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
             s;
           exit 2)
-let json_path = flag_value "--json" "BENCH_PR4.json" Fun.id
+let json_path = flag_value "--json" "BENCH_PR5.json" Fun.id
 let trace_path = flag_value "--trace" None (fun s -> Some s)
 
 let selected =
@@ -53,7 +55,7 @@ let selected =
     Array.to_list Sys.argv
     |> List.filter (fun a ->
            a = "ablation" || a = "validation" || a = "cache"
-           || a = "telemetry"
+           || a = "telemetry" || a = "sched"
            || (String.length a > 3 && String.sub a 0 3 = "fig"))
   in
   fun name -> wanted = [] || List.mem name wanted
@@ -274,6 +276,75 @@ let run_validation_scaling () =
             j wall rate (base_t /. Float.max wall 1e-9)
             (violations = base_v))
     job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler scaling: reference vs incremental/parallel conditional    *)
+(* scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_sched_bench () =
+  section
+    "Scheduler scaling - conditional scheduling of the FT-CPG\n\
+     (reference full-rescan scheduler vs the incremental scheduler with\n\
+     ready-set selection, memoized placements and copy-on-write\n\
+     timelines; jobs > 1 additionally fans independent fault/no-fault\n\
+     subtrees out on the domain pool. Tables are byte-identical in\n\
+     every configuration)";
+  let configs =
+    (* (processes, k, seed): scenario-tree size grows with both axes. *)
+    if quick then [ (8, 2, 17); (10, 3, 17) ]
+    else [ (8, 2, 17); (10, 3, 17); (12, 4, 17); (14, 4, 17) ]
+  in
+  let digest t =
+    Digest.to_hex (Digest.string (Format.asprintf "%a" Ftes_sched.Table.pp t))
+  in
+  (* jobs > 1 can only pay off with real cores behind the pool; print
+     the count so single-core runs (where the fan-out is pure overhead)
+     read correctly. *)
+  Printf.printf "  domain pool: %d core(s) available\n" (Par.default_jobs ());
+  let job_counts = List.sort_uniq compare ([ 1; 2; 4 ] @ [ jobs ]) in
+  List.iter
+    (fun (processes, k, seed) ->
+      let p =
+        Ftes_workload.Gen.problem ~k
+          { Ftes_workload.Gen.default with processes; nodes = 2; seed }
+      in
+      let f = Ftes_ftcpg.Ftcpg.build p in
+      let vertices = Array.length (Ftes_ftcpg.Ftcpg.vertices f) in
+      let t0 = Unix.gettimeofday () in
+      let ref_table = Ftes_sched.Conditional.schedule_reference f in
+      let wall_ref = Unix.gettimeofday () -. t0 in
+      let ref_digest = digest ref_table in
+      let tracks = List.length ref_table.Ftes_sched.Table.tracks in
+      Printf.printf
+        "  instance: %d processes, 2 nodes, k=%d -> %d vertices, %d tracks\n"
+        processes k vertices tracks;
+      Printf.printf "  reference: %8.3f s\n" wall_ref;
+      List.iter
+        (fun j ->
+          let t0 = Unix.gettimeofday () in
+          let table = Ftes_sched.Conditional.schedule ~jobs:j f in
+          let wall = Unix.gettimeofday () -. t0 in
+          let identical = digest table = ref_digest in
+          let speedup = wall_ref /. Float.max wall 1e-9 in
+          Printf.printf
+            "  jobs=%-3d %8.3f s  speedup %.2fx  identical: %b\n" j wall
+            speedup identical;
+          record_json
+            [
+              ("name", JStr "sched-scaling");
+              ("processes", JInt processes);
+              ("k", JInt k);
+              ("vertices", JInt vertices);
+              ("tracks", JInt tracks);
+              ("jobs", JInt j);
+              ("wall_s", JFloat wall);
+              ("wall_s_reference", JFloat wall_ref);
+              ("speedup", JFloat speedup);
+              ("identical", JBool identical);
+            ])
+        job_counts)
+    configs
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation-cache sweep: cached vs uncached tabu-driven synthesis    *)
@@ -512,6 +583,7 @@ let () =
   if selected "ablation" then timed_phase "ablations" run_ablations;
   if selected "validation" then
     timed_phase "validation-scaling" run_validation_scaling;
+  if selected "sched" then timed_phase "sched-scaling" run_sched_bench;
   if selected "cache" then timed_phase "cache" run_cache_bench;
   if selected "telemetry" then timed_phase "telemetry" run_telemetry_bench;
   timed_phase "micro" run_micro;

@@ -129,6 +129,7 @@ let synthesize path strategy fto checkpointing no_tables matrix validate
       compute_fto = fto;
       checkpointing;
       conditional = not no_tables;
+      sched_jobs = Option.value jobs ~default:1;
     }
   in
   let result =
@@ -231,8 +232,10 @@ let synthesize_cmd =
   in
   let jobs =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
-           ~doc:"Domains for candidate evaluation and validation \
-                 (default: all cores; 1 = sequential).")
+           ~doc:"Domains for candidate evaluation, conditional \
+                 scheduling and validation (default: all cores for \
+                 evaluation/validation, sequential scheduling; 1 = \
+                 fully sequential).")
   in
   let no_cache =
     Arg.(value & flag & info [ "no-cache" ]
@@ -270,7 +273,9 @@ let simulate path faults trace jobs =
   let doc = read_doc path in
   let problem = Ftes_dsl.Dsl.to_problem doc in
   let ftcpg = Ftes_ftcpg.Ftcpg.build problem in
-  let table = Ftes_sched.Conditional.schedule ftcpg in
+  let table =
+    Ftes_sched.Conditional.schedule ?jobs ftcpg
+  in
   let scenarios = Ftes_ftcpg.Ftcpg.scenarios ftcpg in
   let selected =
     List.filter
@@ -324,8 +329,9 @@ let simulate_cmd =
   in
   let jobs =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
-           ~doc:"Domains for scenario replay (default: all cores; 1 = \
-                 sequential).")
+           ~doc:"Domains for table construction and scenario replay \
+                 (default: all cores for replay, sequential \
+                 scheduling; 1 = fully sequential).")
   in
   Cmd.v
     (Cmd.info "simulate"

@@ -10,94 +10,19 @@
    - the synthesized system tolerates k = 2 transient faults per cycle
      and is validated by exhaustive fault injection.
 
+   The instance itself (graphs, architecture, WCET table) lives in
+   Ftes_core.Example_suite so the schedule-digest regression test pins
+   the exact same problem this executable demonstrates.
+
    Run with: dune exec examples/cruise_control.exe *)
 
 module Graph = Ftes_app.Graph
-module Overheads = Ftes_app.Overheads
-
-let o ~c = Overheads.make ~alpha:(c /. 10.) ~mu:(c /. 10.) ~chi:(c /. 20.)
-
-(* The cruise-control graph: sensors -> fusion -> control -> actuators. *)
-let cruise_control () =
-  let b = Graph.Builder.create () in
-  let add name c = Graph.Builder.add_process b ~overheads:(o ~c) ~name in
-  let radar = add "Radar" 20. in
-  let speed = add "Speed" 10. in
-  let fusion = add "Fusion" 30. in
-  let control = add "Control" 40. in
-  let throttle = add "Throttle" 10. in
-  let brake = add "Brake" 10. in
-  let msg ?name src dst size =
-    Graph.Builder.add_message b ?name ~src ~dst ~size
-  in
-  let _ = msg radar fusion 6. in
-  let _ = msg speed fusion 4. in
-  let _ = msg fusion control 6. in
-  let m_throttle = msg ~name:"cmd_throttle" control throttle 2. in
-  let m_brake = msg ~name:"cmd_brake" control brake 2. in
-  let graph = Graph.Builder.build b in
-  {
-    Ftes_app.Merge.graph;
-    period = 600.;
-    deadline = 600.;
-    transparency =
-      Ftes_app.Transparency.of_list
-        [ Msg m_throttle; Msg m_brake; Proc throttle; Proc brake ];
-  }
-
-(* The engine monitor: a short chain sampled twice per hyperperiod. *)
-let engine_monitor () =
-  let b = Graph.Builder.create () in
-  let add name c = Graph.Builder.add_process b ~overheads:(o ~c) ~name in
-  let sample = add "EngSample" 10. in
-  let check = add "EngCheck" 15. in
-  let _ = Graph.Builder.add_message b ~src:sample ~dst:check ~size:4. in
-  {
-    Ftes_app.Merge.graph = Graph.Builder.build b;
-    period = 300.;
-    deadline = 250.;
-    transparency = Ftes_app.Transparency.none;
-  }
 
 let () =
-  let app = Ftes_app.Merge.merge [ cruise_control (); engine_monitor () ] in
+  let app, arch, wcet = Ftes_core.Example_suite.cruise_instance () in
   Format.printf "merged virtual application (hyperperiod %g):@.%a@."
     app.Ftes_app.App.period Ftes_app.App.pp app;
-
-  (* Three ECUs; the actuators are wired to ECU3, the sensors split over
-     ECU1/ECU2 — mapping restrictions in the WCET table. *)
-  let nodes = 3 in
-  let arch =
-    Ftes_arch.Arch.make ~names:[ "ECU1"; "ECU2"; "ECU3" ] ~node_count:nodes
-      ~bus:(Ftes_arch.Bus.tdma ~slot_length:8. ~bandwidth:1. nodes)
-      ()
-  in
   let g = app.Ftes_app.App.graph in
-  let n = Graph.process_count g in
-  let wcet = Ftes_arch.Wcet.create ~procs:n ~nodes in
-  let set name row =
-    match Graph.find_process g name with
-    | None -> invalid_arg ("no process " ^ name)
-    | Some pid ->
-        List.iteri
-          (fun nid entry ->
-            match entry with
-            | Some c -> Ftes_arch.Wcet.set wcet ~pid ~nid c
-            | None -> ())
-          row
-  in
-  set "Radar" [ Some 20.; None; None ];
-  set "Speed" [ None; Some 10.; None ];
-  set "Fusion" [ Some 30.; Some 35.; None ];
-  set "Control" [ Some 40.; Some 45.; None ];
-  set "Throttle" [ None; None; Some 10. ];
-  set "Brake" [ None; None; Some 10. ];
-  List.iter
-    (fun suffix ->
-      set ("EngSample" ^ suffix) [ Some 12.; Some 10.; Some 14. ];
-      set ("EngCheck" ^ suffix) [ Some 15.; Some 15.; Some 18. ])
-    [ ""; "@1" ];
-  Ftes_arch.Wcet.validate wcet;
 
   let result =
     Ftes_core.Synthesis.synthesize

@@ -9,6 +9,10 @@
    leaves over. Faults eat into exactly that capacity, so the guaranteed
    utility degrades with k while the hard deadline never does.
 
+   The instance itself (graph, architecture, WCET table) lives in
+   Ftes_core.Example_suite so the schedule-digest regression test pins
+   the exact same problem this executable demonstrates.
+
    Run with: dune exec examples/soft_goals.exe *)
 
 module Graph = Ftes_app.Graph
@@ -16,45 +20,13 @@ module U = Ftes_soft.Utility
 module SS = Ftes_soft.Softsched
 
 let () =
-  let b = Graph.Builder.create () in
-  let o = Ftes_app.Overheads.make ~alpha:2. ~mu:2. ~chi:1. in
-  let add name = Graph.Builder.add_process b ~overheads:o ~name in
-  (* Hard control chain. *)
-  let sample = add "Sample" in
-  let law = add "Law" in
-  let actuate = add "Actuate" in
-  (* Soft vision pipeline (fed by the hard sample — allowed; the
-     converse would be rejected). *)
-  let detect = add "Detect" in
-  let track = add "Track" in
-  let overlay = add "Overlay" in
-  let log = add "Log" in
-  let msg src dst size = ignore (Graph.Builder.add_message b ~src ~dst ~size) in
-  msg sample law 2.;
-  msg law actuate 2.;
-  msg sample detect 4.;
-  msg detect track 4.;
-  msg track overlay 4.;
-  msg overlay log 2.;
-  let graph = Graph.Builder.build b in
-  let app = Ftes_app.App.make ~graph ~deadline:400. ~period:400. () in
-
-  let nodes = 2 in
-  let arch =
-    Ftes_arch.Arch.make ~node_count:nodes
-      ~bus:(Ftes_arch.Arch.default_bus ~node_count:nodes)
-      ()
-  in
-  let wcet = Ftes_arch.Wcet.create ~procs:(Graph.process_count graph) ~nodes in
-  List.iter
-    (fun (pid, c1, c2) ->
-      Ftes_arch.Wcet.set wcet ~pid ~nid:0 c1;
-      Ftes_arch.Wcet.set wcet ~pid ~nid:1 c2)
-    [
-      (sample, 10., 12.); (law, 20., 24.); (actuate, 8., 8.);
-      (detect, 40., 45.); (track, 30., 35.); (overlay, 20., 20.);
-      (log, 5., 5.);
-    ];
+  let app, arch, wcet = Ftes_core.Example_suite.vision_instance () in
+  let graph = app.Ftes_app.App.graph in
+  let pid name = Option.get (Graph.find_process graph name) in
+  let detect = pid "Detect"
+  and track = pid "Track"
+  and overlay = pid "Overlay"
+  and log = pid "Log" in
 
   let classes =
     Array.init (Graph.process_count graph) (fun pid ->

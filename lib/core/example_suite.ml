@@ -1,0 +1,195 @@
+(* Deterministic problem instances behind every graph shipped in
+   examples/. The example executables print, synthesize and validate
+   these; the digest regression test schedules each one and pins the
+   resulting tables byte-for-byte, so any scheduler change that alters
+   output — intentionally or not — fails loudly. *)
+
+module App = Ftes_app.App
+module Graph = Ftes_app.Graph
+module Merge = Ftes_app.Merge
+module Overheads = Ftes_app.Overheads
+module Transparency = Ftes_app.Transparency
+module Policy = Ftes_app.Policy
+module Arch = Ftes_arch.Arch
+module Bus = Ftes_arch.Bus
+module Wcet = Ftes_arch.Wcet
+module Problem = Ftes_ftcpg.Problem
+
+let default_problem ~app ~arch ~wcet ~k =
+  let policies = Problem.default_policies ~app ~k in
+  let mapping = Problem.fastest_mapping ~app ~wcet ~policies in
+  Problem.make ~app ~arch ~wcet ~k ~policies ~mapping
+
+(* Fig. 3: five processes on two nodes (the quickstart instance). *)
+let fig3 ~k =
+  let app = App.fig3 () in
+  let arch, wcet = Ftes_arch.Examples.fig3 () in
+  default_problem ~app ~arch ~wcet ~k
+
+(* Fig. 5: the paper's running example (k = 2, frozen P3/m2/m3). *)
+let fig5 () =
+  let app = App.fig5 () in
+  let arch, wcet = Ftes_arch.Examples.fig5 () in
+  default_problem ~app ~arch ~wcet ~k:2
+
+(* The cruise-control scenario: an adaptive cruise controller and an
+   engine monitor sharing three ECUs on a TTP-like TDMA bus. The
+   actuation messages are frozen (recovery inside the controller stays
+   invisible to the actuator ECU) and the monitor runs twice per
+   hyperperiod. *)
+
+let cruise_overheads ~c =
+  Overheads.make ~alpha:(c /. 10.) ~mu:(c /. 10.) ~chi:(c /. 20.)
+
+(* The cruise-control graph: sensors -> fusion -> control -> actuators. *)
+let cruise_control_app () =
+  let b = Graph.Builder.create () in
+  let add name c =
+    Graph.Builder.add_process b ~overheads:(cruise_overheads ~c) ~name
+  in
+  let radar = add "Radar" 20. in
+  let speed = add "Speed" 10. in
+  let fusion = add "Fusion" 30. in
+  let control = add "Control" 40. in
+  let throttle = add "Throttle" 10. in
+  let brake = add "Brake" 10. in
+  let msg ?name src dst size =
+    Graph.Builder.add_message b ?name ~src ~dst ~size
+  in
+  let _ = msg radar fusion 6. in
+  let _ = msg speed fusion 4. in
+  let _ = msg fusion control 6. in
+  let m_throttle = msg ~name:"cmd_throttle" control throttle 2. in
+  let m_brake = msg ~name:"cmd_brake" control brake 2. in
+  let graph = Graph.Builder.build b in
+  {
+    Merge.graph;
+    period = 600.;
+    deadline = 600.;
+    transparency =
+      Transparency.of_list
+        [ Msg m_throttle; Msg m_brake; Proc throttle; Proc brake ];
+  }
+
+(* The engine monitor: a short chain sampled twice per hyperperiod. *)
+let engine_monitor_app () =
+  let b = Graph.Builder.create () in
+  let add name c =
+    Graph.Builder.add_process b ~overheads:(cruise_overheads ~c) ~name
+  in
+  let sample = add "EngSample" 10. in
+  let check = add "EngCheck" 15. in
+  let _ = Graph.Builder.add_message b ~src:sample ~dst:check ~size:4. in
+  {
+    Merge.graph = Graph.Builder.build b;
+    period = 300.;
+    deadline = 250.;
+    transparency = Transparency.none;
+  }
+
+let cruise_instance () =
+  let app = Merge.merge [ cruise_control_app (); engine_monitor_app () ] in
+  (* Three ECUs; the actuators are wired to ECU3, the sensors split over
+     ECU1/ECU2 — mapping restrictions in the WCET table. *)
+  let nodes = 3 in
+  let arch =
+    Arch.make ~names:[ "ECU1"; "ECU2"; "ECU3" ] ~node_count:nodes
+      ~bus:(Bus.tdma ~slot_length:8. ~bandwidth:1. nodes)
+      ()
+  in
+  let g = app.App.graph in
+  let wcet = Wcet.create ~procs:(Graph.process_count g) ~nodes in
+  let set name row =
+    match Graph.find_process g name with
+    | None -> invalid_arg ("no process " ^ name)
+    | Some pid ->
+        List.iteri
+          (fun nid entry ->
+            match entry with
+            | Some c -> Wcet.set wcet ~pid ~nid c
+            | None -> ())
+          row
+  in
+  set "Radar" [ Some 20.; None; None ];
+  set "Speed" [ None; Some 10.; None ];
+  set "Fusion" [ Some 30.; Some 35.; None ];
+  set "Control" [ Some 40.; Some 45.; None ];
+  set "Throttle" [ None; None; Some 10. ];
+  set "Brake" [ None; None; Some 10. ];
+  List.iter
+    (fun suffix ->
+      set ("EngSample" ^ suffix) [ Some 12.; Some 10.; Some 14. ];
+      set ("EngCheck" ^ suffix) [ Some 15.; Some 15.; Some 18. ])
+    [ ""; "@1" ];
+  Wcet.validate wcet;
+  (app, arch, wcet)
+
+let cruise_control ~k =
+  let app, arch, wcet = cruise_instance () in
+  default_problem ~app ~arch ~wcet ~k
+
+(* The vision-assisted controller of the soft-goals example: a hard
+   control chain (Sample -> Law -> Actuate) next to a soft vision
+   pipeline (Detect -> Track -> Overlay -> Log) on two ECUs. *)
+let vision_instance () =
+  let b = Graph.Builder.create () in
+  let o = Overheads.make ~alpha:2. ~mu:2. ~chi:1. in
+  let add name = Graph.Builder.add_process b ~overheads:o ~name in
+  let sample = add "Sample" in
+  let law = add "Law" in
+  let actuate = add "Actuate" in
+  let detect = add "Detect" in
+  let track = add "Track" in
+  let overlay = add "Overlay" in
+  let log = add "Log" in
+  let msg src dst size = ignore (Graph.Builder.add_message b ~src ~dst ~size) in
+  msg sample law 2.;
+  msg law actuate 2.;
+  msg sample detect 4.;
+  msg detect track 4.;
+  msg track overlay 4.;
+  msg overlay log 2.;
+  let graph = Graph.Builder.build b in
+  let app = App.make ~graph ~deadline:400. ~period:400. () in
+  let nodes = 2 in
+  let arch =
+    Arch.make ~node_count:nodes ~bus:(Arch.default_bus ~node_count:nodes) ()
+  in
+  let wcet = Wcet.create ~procs:(Graph.process_count graph) ~nodes in
+  List.iter
+    (fun (pid, c1, c2) ->
+      Wcet.set wcet ~pid ~nid:0 c1;
+      Wcet.set wcet ~pid ~nid:1 c2)
+    [
+      (sample, 10., 12.); (law, 20., 24.); (actuate, 8., 8.);
+      (detect, 40., 45.); (track, 30., 35.); (overlay, 20., 20.);
+      (log, 5., 5.);
+    ];
+  (app, arch, wcet)
+
+let vision ~k =
+  let app, arch, wcet = vision_instance () in
+  let policies =
+    Array.init
+      (Graph.process_count app.App.graph)
+      (fun _ -> Policy.re_execution ~recoveries:k)
+  in
+  let mapping = Problem.fastest_mapping ~app ~wcet ~policies in
+  Problem.make ~app ~arch ~wcet ~k ~policies ~mapping
+
+(* The 15-process generated workload of the policy-tradeoff example
+   (seed 42, three nodes). *)
+let tradeoff ~k =
+  let spec =
+    { Ftes_workload.Gen.default with processes = 15; nodes = 3; seed = 42 }
+  in
+  Ftes_workload.Gen.problem ~k spec
+
+let all () =
+  [
+    ("fig3-k1", fig3 ~k:1);
+    ("fig5-k2", fig5 ());
+    ("cruise-control-k2", cruise_control ~k:2);
+    ("vision-k2", vision ~k:2);
+    ("tradeoff15-k2", tradeoff ~k:2);
+  ]

@@ -1,0 +1,41 @@
+(** Deterministic problem instances behind every graph shipped in
+    [examples/].
+
+    The example executables and the schedule-digest regression test
+    share these constructors, so the pinned digests cover exactly the
+    instances the examples demonstrate. All constructors are pure:
+    calling one twice yields structurally identical problems. *)
+
+val fig3 : k:int -> Ftes_ftcpg.Problem.t
+(** The quickstart instance: Fig. 3 application on the Fig. 3
+    two-node architecture, default policies, fastest mapping. *)
+
+val fig5 : unit -> Ftes_ftcpg.Problem.t
+(** The paper's running example (k = 2, frozen P3/m2/m3). *)
+
+val cruise_instance :
+  unit -> Ftes_app.App.t * Ftes_arch.Arch.t * Ftes_arch.Wcet.t
+(** The merged cruise-control + engine-monitor application on three
+    ECUs with a TDMA bus and a restriction-carrying WCET table — the
+    raw ingredients used by [examples/cruise_control.ml]. *)
+
+val cruise_control : k:int -> Ftes_ftcpg.Problem.t
+(** {!cruise_instance} closed into a problem with default policies and
+    the fastest mapping. *)
+
+val vision_instance :
+  unit -> Ftes_app.App.t * Ftes_arch.Arch.t * Ftes_arch.Wcet.t
+(** The vision-assisted controller of [examples/soft_goals.ml]: hard
+    control chain plus soft vision pipeline on two ECUs. *)
+
+val vision : k:int -> Ftes_ftcpg.Problem.t
+(** {!vision_instance} closed into a problem where every process gets a
+    re-execution policy with [k] recoveries. *)
+
+val tradeoff : k:int -> Ftes_ftcpg.Problem.t
+(** The 15-process generated workload of
+    [examples/policy_tradeoff.ml] (seed 42, three nodes). *)
+
+val all : unit -> (string * Ftes_ftcpg.Problem.t) list
+(** Every instance above paired with a stable name, at the fault
+    hypotheses used by the digest regression test. *)

@@ -20,6 +20,7 @@ type options = {
   tabu : Tabu.options;
   conditional : bool;
   max_vertices : int;
+  sched_jobs : int;
   compute_fto : bool;
   checkpointing : bool;
 }
@@ -30,25 +31,29 @@ let default_options =
     tabu = Tabu.default_options;
     conditional = true;
     max_vertices = 20_000;
+    sched_jobs = 1;
     compute_fto = false;
     checkpointing = false;
   }
 
-let try_tables ~conditional ~max_vertices problem =
+let try_tables ~conditional ~max_vertices ~jobs problem =
   if not conditional then (None, None)
   else
     Telemetry.with_span ~cat:"core" "synthesize.tables" @@ fun () ->
     match Ftcpg.build ~max_vertices problem with
     | exception Ftcpg.Too_large _ -> (None, None)
     | ftcpg -> (
-        match Ftes_sched.Conditional.schedule ftcpg with
+        match Ftes_sched.Conditional.schedule ~jobs ftcpg with
         | exception Ftes_sched.Conditional.Too_many_tracks _ ->
             (Some ftcpg, None)
         | table -> (Some ftcpg, Some table))
 
-let of_problem ?(conditional = true) ?(max_vertices = 20_000) problem =
+let of_problem ?(conditional = true) ?(max_vertices = 20_000) ?(sched_jobs = 1)
+    problem =
   let estimate = Slack.evaluate problem in
-  let ftcpg, table = try_tables ~conditional ~max_vertices problem in
+  let ftcpg, table =
+    try_tables ~conditional ~max_vertices ~jobs:sched_jobs problem
+  in
   { problem; estimate; ftcpg; table; fto = None }
 
 let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
@@ -82,7 +87,7 @@ let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
   in
   let ftcpg, table =
     try_tables ~conditional:options.conditional
-      ~max_vertices:options.max_vertices problem
+      ~max_vertices:options.max_vertices ~jobs:options.sched_jobs problem
   in
   let fto =
     Option.map

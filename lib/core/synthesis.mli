@@ -41,6 +41,10 @@ type options = {
   conditional : bool;  (** Attempt FT-CPG expansion + conditional
                            scheduling (default true). *)
   max_vertices : int;  (** FT-CPG expansion budget. *)
+  sched_jobs : int;  (** Domains used by the conditional scheduler's
+                         scenario-subtree fan-out (default 1 =
+                         sequential; tables are identical for any
+                         value). *)
   compute_fto : bool;  (** Also optimize the fault-free baseline to
                            report the FTO (default false). *)
   checkpointing : bool;  (** Additionally optimize checkpoint counts
@@ -59,7 +63,12 @@ val synthesize :
   unit ->
   t
 
-val of_problem : ?conditional:bool -> ?max_vertices:int -> Ftes_ftcpg.Problem.t -> t
+val of_problem :
+  ?conditional:bool ->
+  ?max_vertices:int ->
+  ?sched_jobs:int ->
+  Ftes_ftcpg.Problem.t ->
+  t
 (** Schedule a fully specified configuration (no optimization). *)
 
 val schedulable : t -> bool

@@ -5,37 +5,30 @@ module Graph = Ftes_app.Graph
 module Arch = Ftes_arch.Arch
 module Bus = Ftes_arch.Bus
 module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+module Cowarray = Ftes_util.Cowarray
 module Telemetry = Ftes_util.Telemetry
 
 let c_fix_iterations = Telemetry.counter "sched.fix_iterations"
+let c_ready_hits = Telemetry.counter "sched.ready_hits"
+let c_cache_inval = Telemetry.counter "sched.cache_invalidations"
+let c_par_forks = Telemetry.counter "sched.par_forks"
 
-type params = { cond_size : float; max_tracks : int; max_fix_iters : int }
+type params = {
+  cond_size : float;
+  max_tracks : int;
+  max_fix_iters : int;
+  fan_depth : int;
+}
 
-let default_params = { cond_size = 1.; max_tracks = 20_000; max_fix_iters = 64 }
+let default_params =
+  { cond_size = 1.; max_tracks = 20_000; max_fix_iters = 64; fan_depth = 6 }
 
 exception Blocked of string
 exception Too_many_tracks of int
 exception Fixpoint_diverged of int
 
 let eps = 1e-6
-
-type state = {
-  guard : Cond.guard;
-  faults : int;
-  nodes : Timeline.t array;
-  bus : Busalloc.t;
-  finish : float Imap.t;  (* scheduled vertices -> finish time *)
-  reveal : float Imap.t;  (* condition -> revelation time *)
-  bcast : float Imap.t;  (* condition -> broadcast arrival *)
-  pending : (float * int) Ftes_util.Pqueue.t;
-      (* unrevealed conditions, min-heap by revelation time. Branch
-         states share physical queues only when at most one branch is
-         still live: [commit] pushes in place (the parent state is dead
-         once its successor exists) and a fork hands the fault branch a
-         [Pqueue.copy] while the no-fault branch keeps the original. *)
-  entries : Table.entry list;  (* reversed *)
-  makespan : float;
-}
 
 (* Partial-critical-path priority: longest downstream chain. *)
 let priorities ftcpg =
@@ -50,8 +43,33 @@ let priorities ftcpg =
   done;
   pcp
 
-let schedule ?(params = default_params) ftcpg =
-  Telemetry.with_span ~cat:"sched" "sched.conditional" @@ fun () ->
+(* ------------------------------------------------------------------ *)
+(* Reference implementation: the direct transcription of the paper's
+   algorithm, kept as the oracle for digest tests and as the baseline
+   of the scheduler-scaling bench. Rescans every vertex after each
+   commit and copies the full timeline array per commit. *)
+(* ------------------------------------------------------------------ *)
+
+type ref_state = {
+  r_guard : Cond.guard;
+  r_faults : int;
+  r_nodes : Timeline.t array;
+  r_bus : Busalloc.t;
+  r_finish : float Imap.t;  (* scheduled vertices -> finish time *)
+  r_reveal : float Imap.t;  (* condition -> revelation time *)
+  r_bcast : float Imap.t;  (* condition -> broadcast arrival *)
+  r_pending : (float * int) Ftes_util.Pqueue.t;
+      (* unrevealed conditions, min-heap by revelation time. Branch
+         states share physical queues only when at most one branch is
+         still live: [commit] pushes in place (the parent state is dead
+         once its successor exists) and a fork hands the fault branch a
+         [Pqueue.copy] while the no-fault branch keeps the original. *)
+  r_entries : Table.entry list;  (* reversed *)
+  r_makespan : float;
+}
+
+let schedule_reference ?(params = default_params) ftcpg =
+  Telemetry.with_span ~cat:"sched" "sched.conditional.ref" @@ fun () ->
   let problem = Ftcpg.problem ftcpg in
   let k = problem.Problem.k in
   let g = Problem.graph problem in
@@ -73,7 +91,7 @@ let schedule ?(params = default_params) ftcpg =
 
   let literal_available st (l : Cond.literal) ~decision_node =
     let reveal =
-      match Imap.find_opt l.Cond.cond st.reveal with
+      match Imap.find_opt l.Cond.cond st.r_reveal with
       | Some t -> t
       | None -> infinity (* not yet revealed: cannot commit *)
     in
@@ -83,7 +101,7 @@ let schedule ?(params = default_params) ftcpg =
         match (vert l.Cond.cond).Ftcpg.exec_node with
         | Some pn when pn = n -> reveal
         | Some _ | None -> (
-            match Imap.find_opt l.Cond.cond st.bcast with
+            match Imap.find_opt l.Cond.cond st.r_bcast with
             | Some t -> t
             | None -> infinity))
   in
@@ -97,12 +115,12 @@ let schedule ?(params = default_params) ftcpg =
   in
 
   let ready st (v : Ftcpg.vertex) =
-    (not (Imap.mem v.Ftcpg.vid st.finish))
-    && Cond.implies st.guard v.Ftcpg.guard
+    (not (Imap.mem v.Ftcpg.vid st.r_finish))
+    && Cond.implies st.r_guard v.Ftcpg.guard
     && List.for_all
          (fun p ->
-           Imap.mem p st.finish
-           || not (Cond.compatible (vert p).Ftcpg.guard st.guard))
+           Imap.mem p st.r_finish
+           || not (Cond.compatible (vert p).Ftcpg.guard st.r_guard))
          v.Ftcpg.preds
   in
 
@@ -110,7 +128,7 @@ let schedule ?(params = default_params) ftcpg =
     let arrivals =
       List.fold_left
         (fun acc p ->
-          match Imap.find_opt p st.finish with
+          match Imap.find_opt p st.r_finish with
           | Some f -> max acc f
           | None -> acc)
         0. v.Ftcpg.preds
@@ -136,14 +154,14 @@ let schedule ?(params = default_params) ftcpg =
     | Ftcpg.Proc_copy _ ->
         let n = Option.get v.Ftcpg.exec_node in
         let s =
-          Timeline.earliest_gap st.nodes.(n) ~from_:base
+          Timeline.earliest_gap st.r_nodes.(n) ~from_:base
             ~duration:v.Ftcpg.duration
         in
         (s, s +. v.Ftcpg.duration, Table.Node n)
     | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
         let src = Option.get v.Ftcpg.src_node in
         let s, f =
-          Busalloc.probe st.bus ~src ~size:v.Ftcpg.msg_size ~earliest:base
+          Busalloc.probe st.r_bus ~src ~size:v.Ftcpg.msg_size ~earliest:base
         in
         (s, f, Table.Bus)
     | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ ->
@@ -180,40 +198,40 @@ let schedule ?(params = default_params) ftcpg =
   in
 
   let commit st (v : Ftcpg.vertex) (start, fin, resource, prereserved) =
-    let nodes = Array.copy st.nodes in
-    let bus = ref st.bus in
+    let nodes = Array.copy st.r_nodes in
+    let bus = ref st.r_bus in
     if not prereserved then begin
       match resource with
       | Table.Node n ->
           nodes.(n) <- Timeline.reserve nodes.(n) ~start ~finish:fin
       | Table.Bus ->
           let src = Option.get v.Ftcpg.src_node in
-          bus := Busalloc.reserve_window st.bus ~src ~start ~finish:fin
+          bus := Busalloc.reserve_window st.r_bus ~src ~start ~finish:fin
       | Table.Local -> ()
     end;
     let entry =
-      { Table.item = Table.Exec v.Ftcpg.vid; guard = st.guard; start;
+      { Table.item = Table.Exec v.Ftcpg.vid; guard = st.r_guard; start;
         finish = fin; resource }
     in
     if v.Ftcpg.conditional then
-      Ftes_util.Pqueue.push st.pending (fin, v.Ftcpg.vid);
+      Ftes_util.Pqueue.push st.r_pending (fin, v.Ftcpg.vid);
     let reveal =
-      if v.Ftcpg.conditional then Imap.add v.Ftcpg.vid fin st.reveal
-      else st.reveal
+      if v.Ftcpg.conditional then Imap.add v.Ftcpg.vid fin st.r_reveal
+      else st.r_reveal
     in
     {
       st with
-      nodes;
-      bus = !bus;
-      finish = Imap.add v.Ftcpg.vid fin st.finish;
-      reveal;
-      entries = entry :: st.entries;
-      makespan = max st.makespan fin;
+      r_nodes = nodes;
+      r_bus = !bus;
+      r_finish = Imap.add v.Ftcpg.vid fin st.r_finish;
+      r_reveal = reveal;
+      r_entries = entry :: st.r_entries;
+      r_makespan = max st.r_makespan fin;
     }
   in
 
   let schedule_bcast st (tr, vc) =
-    if nnodes <= 1 then { st with bcast = Imap.add vc tr st.bcast }
+    if nnodes <= 1 then { st with r_bcast = Imap.add vc tr st.r_bcast }
     else
       let src =
         match (vert vc).Ftcpg.exec_node with
@@ -221,23 +239,23 @@ let schedule ?(params = default_params) ftcpg =
         | None -> 0
       in
       let bus, (s, f) =
-        Busalloc.place st.bus ~src ~size:params.cond_size ~earliest:tr
+        Busalloc.place st.r_bus ~src ~size:params.cond_size ~earliest:tr
       in
       let entry =
-        { Table.item = Table.Bcast vc; guard = st.guard; start = s;
+        { Table.item = Table.Bcast vc; guard = st.r_guard; start = s;
           finish = f; resource = Table.Bus }
       in
       {
         st with
-        bus;
-        bcast = Imap.add vc f st.bcast;
-        entries = entry :: st.entries;
+        r_bus = bus;
+        r_bcast = Imap.add vc f st.r_bcast;
+        r_entries = entry :: st.r_entries;
       }
   in
 
   let rec run st =
     let next_reveal =
-      match Ftes_util.Pqueue.peek st.pending with
+      match Ftes_util.Pqueue.peek st.r_pending with
       | None -> infinity
       | Some (t, _) -> t
     in
@@ -262,24 +280,26 @@ let schedule ?(params = default_params) ftcpg =
     match !best with
     | Some (_, v, placement) -> run (commit st v placement)
     | None -> (
-        match Ftes_util.Pqueue.peek st.pending with
+        match Ftes_util.Pqueue.peek st.r_pending with
         | Some (tr, vc) ->
             let st = schedule_bcast st (tr, vc) in
-            ignore (Ftes_util.Pqueue.pop st.pending);
+            ignore (Ftes_util.Pqueue.pop st.r_pending);
             let branch_nf =
               {
                 st with
-                guard = Cond.add_exn st.guard { Cond.cond = vc; fault = false };
+                r_guard =
+                  Cond.add_exn st.r_guard { Cond.cond = vc; fault = false };
               }
             in
             let results_f =
-              if st.faults < k then
+              if st.r_faults < k then
                 run
                   {
                     st with
-                    guard = Cond.add_exn st.guard { Cond.cond = vc; fault = true };
-                    faults = st.faults + 1;
-                    pending = Ftes_util.Pqueue.copy st.pending;
+                    r_guard =
+                      Cond.add_exn st.r_guard { Cond.cond = vc; fault = true };
+                    r_faults = st.r_faults + 1;
+                    r_pending = Ftes_util.Pqueue.copy st.r_pending;
                   }
               else []
             in
@@ -289,19 +309,23 @@ let schedule ?(params = default_params) ftcpg =
             for vid = 0 to nverts - 1 do
               let v = vert vid in
               if
-                Cond.implies st.guard v.Ftcpg.guard
-                && not (Imap.mem vid st.finish)
+                Cond.implies st.r_guard v.Ftcpg.guard
+                && not (Imap.mem vid st.r_finish)
               then
                 raise
                   (Blocked
                      (Printf.sprintf "vertex %s never activated in scenario %s"
                         v.Ftcpg.name
-                        (Cond.to_string ~name:(Ftcpg.cond_name ftcpg) st.guard)))
+                        (Cond.to_string ~name:(Ftcpg.cond_name ftcpg)
+                           st.r_guard)))
             done;
             incr leaf_count;
             if !leaf_count > params.max_tracks then
               raise (Too_many_tracks params.max_tracks);
-            [ (st.entries, { Table.scenario = st.guard; makespan = st.makespan }) ])
+            [
+              ( st.r_entries,
+                { Table.scenario = st.r_guard; makespan = st.r_makespan } );
+            ])
   in
 
   let initial_state () =
@@ -328,7 +352,576 @@ let schedule ?(params = default_params) ftcpg =
             in
             if s > f +. eps then Hashtbl.replace fixed vid s;
             nodes.(n) <-
-              Timeline.reserve nodes.(n) ~start:s ~finish:(s +. v.Ftcpg.duration)
+              Timeline.reserve nodes.(n) ~start:s
+                ~finish:(s +. v.Ftcpg.duration)
+        | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
+            let src = match v.Ftcpg.src_node with Some n -> n | None -> 0 in
+            let s, fin =
+              Busalloc.probe !bus ~src ~size:v.Ftcpg.msg_size ~earliest:f
+            in
+            if s > f +. eps then Hashtbl.replace fixed vid s;
+            bus := Busalloc.reserve_window !bus ~src ~start:s ~finish:fin
+        | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ -> ())
+      fixed_sorted;
+    {
+      r_guard = Cond.true_;
+      r_faults = 0;
+      r_nodes = nodes;
+      r_bus = !bus;
+      r_finish = Imap.empty;
+      r_reveal = Imap.empty;
+      r_bcast = Imap.empty;
+      r_pending = Ftes_util.Pqueue.create ~cmp:compare;
+      r_entries = [];
+      r_makespan = 0.;
+    }
+  in
+
+  let rec iterate iter =
+    if iter > params.max_fix_iters then raise (Fixpoint_diverged iter);
+    Telemetry.incr c_fix_iterations;
+    Hashtbl.reset demands;
+    leaf_count := 0;
+    let results = run (initial_state ()) in
+    let changed = ref false in
+    Hashtbl.iter
+      (fun vid t ->
+        let cur = Hashtbl.find_opt fixed vid in
+        match cur with
+        | Some f when t <= f +. eps -> ()
+        | Some _ | None ->
+            changed := true;
+            Hashtbl.replace fixed vid t)
+      demands;
+    if !changed then iterate (iter + 1)
+    else begin
+      let entries = List.concat_map (fun (es, _) -> List.rev es) results in
+      let tracks = List.map snd results in
+      if Telemetry.enabled () then begin
+        Telemetry.set_gauge "sched.tracks"
+          (float_of_int (List.length tracks));
+        Telemetry.set_gauge "sched.entries"
+          (float_of_int (List.length entries))
+      end;
+      Table.make ~ftcpg ~entries ~tracks
+    end
+  in
+  iterate 1
+
+(* ------------------------------------------------------------------ *)
+(* Production implementation: same algorithm, same output (pinned by
+   digest tests against [schedule_reference]), with three independent
+   optimizations.
+
+   {b Incremental ready set.} A vertex is ready iff its guard literals
+   are all in the track guard and every predecessor is finished or
+   incompatible with the track. Instead of re-deriving this for every
+   vertex after every commit, each track keeps per-vertex counters:
+   [unmet] (predecessors neither finished nor incompatible) and [ggap]
+   (guard literals not yet in the track guard), plus a [dead] flag
+   (vertex incompatible with the track). A commit decrements [unmet] of
+   the committed vertex's successors; revealing a condition outcome
+   decrements [ggap] of the matching-polarity vertices and kills the
+   opposite-polarity ones (which releases their successors). A vertex
+   enters the ready set exactly when both counters reach zero. The set
+   is iterated in ascending vertex id — the same order as the reference
+   rescan, which matters because the eps-tolerant "better candidate"
+   comparison is not transitive.
+
+   {b Placement memoization.} For a ready vertex the base time is a
+   constant of the track (predecessor finishes are final, revelation
+   and broadcast times are recorded before the literal can enter the
+   guard), so its tentative placement only changes when the resource it
+   targets does. Each cached placement stores the physical timeline
+   (or bus allocator) it was computed against and self-invalidates by
+   pointer comparison — a commit on one CPU leaves every other
+   resource's cached placements valid. Frozen prereserved placements
+   and [Local] items depend on nothing and stay valid for the whole
+   track.
+
+   {b Copy-on-write state + parallel subtrees.} The per-node timeline
+   array is a persistent {!Ftes_util.Cowarray} (a commit copies an
+   O(log nodes) path, not the whole array), so forking a track is
+   cheap; the fault and no-fault subtrees of a revelation fork are
+   independent and are fanned out over the {!Ftes_util.Par} pool. The
+   tree is cut at [params.fan_depth] binary forks (a track whose fault
+   budget is exhausted can never fork again and is shipped whole); the
+   frontier is collected in depth-first order and the per-subtree
+   results are spliced back in that order, so the track list — and the
+   resulting table — is byte-identical for every [jobs]. *)
+(* ------------------------------------------------------------------ *)
+
+(* Dependency of a cached placement: the physical resource state it was
+   computed against. Valid while the state's pointer is unchanged. *)
+type dep = Dep_none | Dep_node of Timeline.t | Dep_bus of Busalloc.t
+
+type centry = {
+  c_start : float;
+  c_fin : float;
+  c_res : Table.resource;
+  c_pre : bool;  (* placed inside a pre-reserved frozen window *)
+  c_dep : dep;
+}
+
+type state = {
+  guard : Cond.guard;
+  faults : int;
+  nodes : Timeline.t Cowarray.t;
+  bus : Busalloc.t;
+  finish : float Imap.t;  (* scheduled vertices -> finish time *)
+  reveal : float Imap.t;  (* condition -> revelation time *)
+  bcast : float Imap.t;  (* condition -> broadcast arrival *)
+  pending : (float * int) Ftes_util.Pqueue.t;
+      (* unrevealed conditions, min-heap by revelation time. Mutable
+         structures (this queue and the arrays below) are shared only
+         while at most one branch is live: [commit] and [apply_literal]
+         update them in place (the parent state is dead once its
+         successor exists) and a fork hands the fault branch copies
+         while the no-fault branch keeps the originals. *)
+  entries : Table.entry list;  (* reversed *)
+  makespan : float;
+  ready : Iset.t;  (* vertices with unmet = 0, ggap = 0, unscheduled *)
+  unmet : int array;  (* preds neither finished nor dead, per vertex *)
+  ggap : int array;  (* guard literals not yet in the track guard *)
+  dead : Bytes.t;  (* '\001' when incompatible with the track guard *)
+  cache : centry option array;  (* memoized tentative placements *)
+}
+
+let schedule ?(params = default_params) ?(jobs = 1) ftcpg =
+  Telemetry.with_span ~cat:"sched" "sched.conditional" @@ fun () ->
+  let problem = Ftcpg.problem ftcpg in
+  let k = problem.Problem.k in
+  let g = Problem.graph problem in
+  let arch = problem.Problem.arch in
+  let bus_spec = Arch.bus arch in
+  let nnodes = Arch.node_count arch in
+  let nverts = Ftcpg.vertex_count ftcpg in
+  let pcp = priorities ftcpg in
+  let vert = Ftcpg.vertex ftcpg in
+  (* Static per-graph indices for the incremental bookkeeping. *)
+  let npreds0 = Array.init nverts (fun vid -> List.length (vert vid).Ftcpg.preds) in
+  let nlits0 =
+    Array.init nverts (fun vid ->
+        List.length (Cond.literals (vert vid).Ftcpg.guard))
+  in
+  (* Vertices whose guard contains the {cond, fault} literal, per cond
+     id and polarity (cond ids are vertex ids of conditional vertices). *)
+  let by_lit_t = Array.make nverts [] in
+  let by_lit_f = Array.make nverts [] in
+  for vid = nverts - 1 downto 0 do
+    List.iter
+      (fun (l : Cond.literal) ->
+        if l.Cond.fault then by_lit_t.(l.Cond.cond) <- vid :: by_lit_t.(l.Cond.cond)
+        else by_lit_f.(l.Cond.cond) <- vid :: by_lit_f.(l.Cond.cond))
+      (Cond.literals (vert vid).Ftcpg.guard)
+  done;
+  let ready0 =
+    let r = ref Iset.empty in
+    for vid = 0 to nverts - 1 do
+      if npreds0.(vid) = 0 && nlits0.(vid) = 0 then r := Iset.add vid !r
+    done;
+    !r
+  in
+  (* Frozen start times being fixed across iterations. Read-only while
+     tracks are explored (including from worker domains); merged with
+     the observed demands between fixpoint iterations. *)
+  let fixed : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  (* New or raised start demands observed during one exploration. *)
+  let demands : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let demand_main vid t =
+    let cur = try Hashtbl.find demands vid with Not_found -> neg_infinity in
+    if t > cur then Hashtbl.replace demands vid t
+  in
+  let leaf_count = Atomic.make 0 in
+
+  let literal_available st (l : Cond.literal) ~decision_node =
+    let reveal =
+      match Imap.find_opt l.Cond.cond st.reveal with
+      | Some t -> t
+      | None -> infinity (* not yet revealed: cannot commit *)
+    in
+    match decision_node with
+    | None -> reveal
+    | Some n -> (
+        match (vert l.Cond.cond).Ftcpg.exec_node with
+        | Some pn when pn = n -> reveal
+        | Some _ | None -> (
+            match Imap.find_opt l.Cond.cond st.bcast with
+            | Some t -> t
+            | None -> infinity))
+  in
+
+  let decision_node (v : Ftcpg.vertex) =
+    match v.Ftcpg.kind with
+    | Ftcpg.Proc_copy _ -> v.Ftcpg.exec_node
+    | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ ->
+        if v.Ftcpg.on_bus then v.Ftcpg.src_node else None
+    | Ftcpg.Sync_proc _ -> None
+  in
+
+  let base_time st (v : Ftcpg.vertex) =
+    let arrivals =
+      List.fold_left
+        (fun acc p ->
+          match Imap.find_opt p st.finish with
+          | Some f -> max acc f
+          | None -> acc)
+        0. v.Ftcpg.preds
+    in
+    let release =
+      match v.Ftcpg.kind with
+      | Ftcpg.Proc_copy { pid; _ } -> (Graph.process g pid).Graph.release
+      | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ -> 0.
+    in
+    let dn = decision_node v in
+    let knowledge =
+      List.fold_left
+        (fun acc l -> max acc (literal_available st l ~decision_node:dn))
+        0.
+        (Cond.literals v.Ftcpg.guard)
+    in
+    max arrivals (max release knowledge)
+  in
+
+  (* Natural (ASAP) placement of a vertex from its base time. *)
+  let natural_place st (v : Ftcpg.vertex) base =
+    match v.Ftcpg.kind with
+    | Ftcpg.Proc_copy _ ->
+        let n = Option.get v.Ftcpg.exec_node in
+        let s =
+          Timeline.earliest_gap (Cowarray.get st.nodes n) ~from_:base
+            ~duration:v.Ftcpg.duration
+        in
+        (s, s +. v.Ftcpg.duration, Table.Node n)
+    | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
+        let src = Option.get v.Ftcpg.src_node in
+        let s, f =
+          Busalloc.probe st.bus ~src ~size:v.Ftcpg.msg_size ~earliest:base
+        in
+        (s, f, Table.Bus)
+    | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ ->
+        (base, base, Table.Local)
+  in
+
+  (* Placement respecting a fixed (frozen) start when one exists.
+     Returns the placement plus whether the pre-reserved window is
+     already accounted for in the timelines. *)
+  let place ~demand st (v : Ftcpg.vertex) =
+    let base = base_time st v in
+    match Hashtbl.find_opt fixed v.Ftcpg.vid with
+    | Some f when v.Ftcpg.frozen ->
+        if base <= f +. eps then
+          let resource =
+            match v.Ftcpg.kind with
+            | Ftcpg.Proc_copy _ -> Table.Node (Option.get v.Ftcpg.exec_node)
+            | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
+                Table.Bus
+            | Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _ | Ftcpg.Sync_proc _ ->
+                Table.Local
+          in
+          (f, f +. v.Ftcpg.duration, resource, true)
+        else begin
+          (* The frozen time is too early in this track: demand more. *)
+          let s, fin, r = natural_place st v base in
+          demand v.Ftcpg.vid s;
+          (s, fin, r, false)
+        end
+    | Some _ | None ->
+        let s, fin, r = natural_place st v base in
+        if v.Ftcpg.frozen then demand v.Ftcpg.vid s;
+        (s, fin, r, false)
+  in
+
+  let dep_valid st e =
+    match e.c_dep with
+    | Dep_none -> true
+    | Dep_node tl -> (
+        match e.c_res with
+        | Table.Node n -> tl == Cowarray.get st.nodes n
+        | Table.Bus | Table.Local -> false)
+    | Dep_bus b -> b == st.bus
+  in
+  let dep_of st res ~prereserved =
+    if prereserved then Dep_none
+    else
+      match res with
+      | Table.Node n -> Dep_node (Cowarray.get st.nodes n)
+      | Table.Bus -> Dep_bus st.bus
+      | Table.Local -> Dep_none
+  in
+  (* The base time of a ready vertex is a constant of its track, so a
+     tentative placement stays valid until the resource it targets is
+     touched (by a commit or a condition broadcast) — detected by
+     physical equality with the recorded timeline / bus allocator.
+     [demand] side effects are max-accumulated and the demanded start
+     only depends on the same state, so skipping the recomputation on a
+     hit never loses a demand. *)
+  let cached_place ~demand st (v : Ftcpg.vertex) =
+    let vid = v.Ftcpg.vid in
+    match st.cache.(vid) with
+    | Some e when dep_valid st e ->
+        Telemetry.incr c_ready_hits;
+        (e.c_start, e.c_fin, e.c_res, e.c_pre)
+    | prev ->
+        if prev <> None then Telemetry.incr c_cache_inval;
+        let ((s, fin, res, pre) as placement) = place ~demand st v in
+        st.cache.(vid) <-
+          Some
+            {
+              c_start = s;
+              c_fin = fin;
+              c_res = res;
+              c_pre = pre;
+              c_dep = dep_of st res ~prereserved:pre;
+            };
+        placement
+  in
+
+  let commit st (v : Ftcpg.vertex) (start, fin, resource, prereserved) =
+    let nodes, bus =
+      if prereserved then (st.nodes, st.bus)
+      else
+        match resource with
+        | Table.Node n ->
+            ( Cowarray.set st.nodes n
+                (Timeline.reserve (Cowarray.get st.nodes n) ~start ~finish:fin),
+              st.bus )
+        | Table.Bus ->
+            let src = Option.get v.Ftcpg.src_node in
+            (st.nodes, Busalloc.reserve_window st.bus ~src ~start ~finish:fin)
+        | Table.Local -> (st.nodes, st.bus)
+    in
+    let entry =
+      { Table.item = Table.Exec v.Ftcpg.vid; guard = st.guard; start;
+        finish = fin; resource }
+    in
+    if v.Ftcpg.conditional then
+      Ftes_util.Pqueue.push st.pending (fin, v.Ftcpg.vid);
+    let reveal =
+      if v.Ftcpg.conditional then Imap.add v.Ftcpg.vid fin st.reveal
+      else st.reveal
+    in
+    let finish = Imap.add v.Ftcpg.vid fin st.finish in
+    (* The committed vertex leaves the ready set; each successor loses
+       one unmet predecessor and may become ready. *)
+    let ready = ref (Iset.remove v.Ftcpg.vid st.ready) in
+    List.iter
+      (fun s ->
+        st.unmet.(s) <- st.unmet.(s) - 1;
+        if
+          st.unmet.(s) = 0
+          && st.ggap.(s) = 0
+          && Bytes.get st.dead s = '\000'
+          && not (Imap.mem s finish)
+        then ready := Iset.add s !ready)
+      v.Ftcpg.succs;
+    {
+      st with
+      nodes;
+      bus;
+      finish;
+      reveal;
+      entries = entry :: st.entries;
+      makespan = max st.makespan fin;
+      ready = !ready;
+    }
+  in
+
+  (* Extend the track guard with a revealed literal: matching-polarity
+     vertices close one guard gap (and may become ready); opposite-
+     polarity vertices become dead, permanently satisfying them as
+     predecessors. A vertex gaining or losing here can never be in the
+     ready set yet (its [ggap] was positive), and scheduled vertices
+     never appear in either list (their guard literals were already in
+     the track guard before this condition existed). *)
+  let apply_literal st (l : Cond.literal) =
+    let ready = ref st.ready in
+    let same, opp =
+      if l.Cond.fault then (by_lit_t.(l.Cond.cond), by_lit_f.(l.Cond.cond))
+      else (by_lit_f.(l.Cond.cond), by_lit_t.(l.Cond.cond))
+    in
+    List.iter
+      (fun vid ->
+        if Bytes.get st.dead vid = '\000' then begin
+          st.ggap.(vid) <- st.ggap.(vid) - 1;
+          if
+            st.ggap.(vid) = 0
+            && st.unmet.(vid) = 0
+            && not (Imap.mem vid st.finish)
+          then ready := Iset.add vid !ready
+        end)
+      same;
+    List.iter
+      (fun vid ->
+        if Bytes.get st.dead vid = '\000' then begin
+          Bytes.set st.dead vid '\001';
+          List.iter
+            (fun s ->
+              st.unmet.(s) <- st.unmet.(s) - 1;
+              if
+                st.unmet.(s) = 0
+                && st.ggap.(s) = 0
+                && Bytes.get st.dead s = '\000'
+                && not (Imap.mem s st.finish)
+              then ready := Iset.add s !ready)
+            (vert vid).Ftcpg.succs
+        end)
+      opp;
+    { st with guard = Cond.add_exn st.guard l; ready = !ready }
+  in
+
+  let schedule_bcast st (tr, vc) =
+    if nnodes <= 1 then { st with bcast = Imap.add vc tr st.bcast }
+    else
+      let src =
+        match (vert vc).Ftcpg.exec_node with
+        | Some n -> n
+        | None -> 0
+      in
+      let bus, (s, f) =
+        Busalloc.place st.bus ~src ~size:params.cond_size ~earliest:tr
+      in
+      let entry =
+        { Table.item = Table.Bcast vc; guard = st.guard; start = s;
+          finish = f; resource = Table.Bus }
+      in
+      {
+        st with
+        bus;
+        bcast = Imap.add vc f st.bcast;
+        entries = entry :: st.entries;
+      }
+  in
+
+  let fork_copy st =
+    {
+      st with
+      pending = Ftes_util.Pqueue.copy st.pending;
+      unmet = Array.copy st.unmet;
+      ggap = Array.copy st.ggap;
+      dead = Bytes.copy st.dead;
+      cache = Array.copy st.cache;
+    }
+  in
+
+  (* Depth-first exploration emitting, in DFS order, either finished
+     tracks or — in collection mode, once [split] binary forks have
+     been crossed — whole branch states for the parallel pool. A branch
+     whose fault budget is exhausted can never fork again (exactly one
+     leaf below) and is shipped whole as soon as it appears. With
+     [collect = false] every subtree is explored in place and only
+     tracks are emitted. *)
+  let rec walk ~demand ~collect ~split ~sink st =
+    let next_reveal =
+      match Ftes_util.Pqueue.peek st.pending with
+      | None -> infinity
+      | Some (t, _) -> t
+    in
+    (* Candidates placeable before the next revelation, scanned in
+       ascending vertex id like the reference loop (the eps-tolerant
+       comparison is not transitive, so the order is part of the
+       pinned behaviour). *)
+    let best = ref None in
+    Iset.iter
+      (fun vid ->
+        let v = vert vid in
+        let ((s, _, _, _) as placement) = cached_place ~demand st v in
+        if s < next_reveal -. eps then
+          let better =
+            match !best with
+            | None -> true
+            | Some (s', v', _) ->
+                s < s' -. eps
+                || (Float.abs (s -. s') <= eps
+                   && pcp.(vid) > pcp.(v'.Ftcpg.vid))
+          in
+          if better then best := Some (s, v, placement))
+      st.ready;
+    match !best with
+    | Some (_, v, placement) ->
+        walk ~demand ~collect ~split ~sink (commit st v placement)
+    | None -> (
+        match Ftes_util.Pqueue.peek st.pending with
+        | Some (tr, vc) ->
+            let st = schedule_bcast st (tr, vc) in
+            ignore (Ftes_util.Pqueue.pop st.pending);
+            let child b ~split =
+              if collect && (split <= 0 || b.faults >= k) then
+                sink (`Branch b)
+              else walk ~demand ~collect ~split ~sink b
+            in
+            if st.faults < k then begin
+              (* The fault branch copies the mutable structures; the
+                 no-fault branch keeps the originals (the parent state
+                 is dead once both children exist). *)
+              let bf = fork_copy st in
+              let bf =
+                apply_literal
+                  { bf with faults = bf.faults + 1 }
+                  { Cond.cond = vc; fault = true }
+              in
+              let bnf = apply_literal st { Cond.cond = vc; fault = false } in
+              child bf ~split:(split - 1);
+              child bnf ~split:(split - 1)
+            end
+            else begin
+              let bnf = apply_literal st { Cond.cond = vc; fault = false } in
+              child bnf ~split
+            end
+        | None ->
+            (* Leaf: every vertex reachable in this scenario must be
+               done. [ggap = 0] is exactly "the track guard implies the
+               vertex guard". *)
+            for vid = 0 to nverts - 1 do
+              if st.ggap.(vid) = 0 && not (Imap.mem vid st.finish) then
+                let v = vert vid in
+                raise
+                  (Blocked
+                     (Printf.sprintf "vertex %s never activated in scenario %s"
+                        v.Ftcpg.name
+                        (Cond.to_string ~name:(Ftcpg.cond_name ftcpg) st.guard)))
+            done;
+            if Atomic.fetch_and_add leaf_count 1 + 1 > params.max_tracks then
+              raise (Too_many_tracks params.max_tracks);
+            sink
+              (`Track
+                (st.entries, { Table.scenario = st.guard; makespan = st.makespan })))
+  in
+
+  let walk_all ~demand st =
+    let acc = ref [] in
+    walk ~demand ~collect:false ~split:0
+      ~sink:(fun it -> acc := it :: !acc)
+      st;
+    List.rev_map (function `Track r -> r | `Branch _ -> assert false) !acc
+  in
+
+  let initial_state () =
+    let nodes = Array.make nnodes Timeline.empty in
+    let bus = ref (Busalloc.create bus_spec ~nodes:nnodes) in
+    (* Pre-reserve the windows of frozen activations: transparency means
+       no other activation may use (or even observe) those windows.
+       Demands from independent tracks may collide; collisions bump the
+       later window forward (monotone, so the fixpoint still
+       terminates). *)
+    let fixed_sorted =
+      List.sort compare
+        (Hashtbl.fold (fun vid f acc -> (f, vid) :: acc) fixed [])
+    in
+    List.iter
+      (fun (f, vid) ->
+        let v = vert vid in
+        match v.Ftcpg.kind with
+        | Ftcpg.Proc_copy _ ->
+            let n = Option.get v.Ftcpg.exec_node in
+            let s =
+              Timeline.earliest_gap nodes.(n) ~from_:f
+                ~duration:v.Ftcpg.duration
+            in
+            if s > f +. eps then Hashtbl.replace fixed vid s;
+            nodes.(n) <-
+              Timeline.reserve nodes.(n) ~start:s
+                ~finish:(s +. v.Ftcpg.duration)
         | (Ftcpg.Msg_inst _ | Ftcpg.Sync_msg _) when v.Ftcpg.on_bus ->
             let src = match v.Ftcpg.src_node with Some n -> n | None -> 0 in
             let s, fin =
@@ -341,7 +934,7 @@ let schedule ?(params = default_params) ftcpg =
     {
       guard = Cond.true_;
       faults = 0;
-      nodes;
+      nodes = Cowarray.of_array nodes;
       bus = !bus;
       finish = Imap.empty;
       reveal = Imap.empty;
@@ -349,15 +942,73 @@ let schedule ?(params = default_params) ftcpg =
       pending = Ftes_util.Pqueue.create ~cmp:compare;
       entries = [];
       makespan = 0.;
+      ready = ready0;
+      unmet = Array.copy npreds0;
+      ggap = Array.copy nlits0;
+      dead = Bytes.make (max nverts 1) '\000';
+      cache = Array.make nverts None;
     }
+  in
+
+  (* One exploration of the scenario tree. Sequentially for [jobs <= 1];
+     otherwise the frontier below [fan_depth] binary forks is collected
+     depth-first, the subtrees run on the pool with task-local demand
+     tables (merged afterwards — max-accumulation is order-independent)
+     and the per-subtree track lists are spliced back in frontier
+     order, reproducing the sequential DFS order exactly. *)
+  let run_tracks () =
+    let st0 = initial_state () in
+    if jobs <= 1 then walk_all ~demand:demand_main st0
+    else begin
+      let items = ref [] in
+      walk ~demand:demand_main ~collect:true ~split:params.fan_depth
+        ~sink:(fun it -> items := it :: !items)
+        st0;
+      let items = List.rev !items in
+      let branches =
+        List.filter_map
+          (function `Branch st -> Some st | `Track _ -> None)
+          items
+      in
+      Telemetry.add c_par_forks (List.length branches);
+      let subtree_results =
+        Ftes_util.Par.map ~jobs
+          (fun st ->
+            let local : (int, float) Hashtbl.t = Hashtbl.create 16 in
+            let demand vid t =
+              let cur =
+                try Hashtbl.find local vid with Not_found -> neg_infinity
+              in
+              if t > cur then Hashtbl.replace local vid t
+            in
+            let tracks = walk_all ~demand st in
+            (tracks, Hashtbl.fold (fun k v acc -> (k, v) :: acc) local []))
+          branches
+      in
+      List.iter
+        (fun (_, ds) -> List.iter (fun (vid, t) -> demand_main vid t) ds)
+        subtree_results;
+      let rec splice items results =
+        match items with
+        | [] -> []
+        | `Track r :: rest -> r :: splice rest results
+        | `Branch _ :: rest -> (
+            match results with
+            | (tracks, _) :: more -> tracks @ splice rest more
+            | [] -> assert false)
+      in
+      splice items subtree_results
+    end
   in
 
   let rec iterate iter =
     if iter > params.max_fix_iters then raise (Fixpoint_diverged iter);
     Telemetry.incr c_fix_iterations;
     Hashtbl.reset demands;
-    leaf_count := 0;
-    let results = run (initial_state ()) in
+    Atomic.set leaf_count 0;
+    let results =
+      Telemetry.with_span ~cat:"sched" "sched.fix_iter" run_tracks
+    in
     let changed = ref false in
     Hashtbl.iter
       (fun vid t ->

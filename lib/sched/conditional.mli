@@ -29,6 +29,11 @@ type params = {
           (default 20_000). *)
   max_fix_iters : int;
       (** Fixpoint iteration cap for frozen start times (default 64). *)
+  fan_depth : int;
+      (** Parallel exploration cuts the scenario tree after this many
+          binary revelation forks; deeper subtrees stay sequential
+          inside one pool task (default 6). Only consulted when
+          [schedule] runs with [jobs > 1]. *)
 }
 
 val default_params : params
@@ -40,4 +45,17 @@ exception Blocked of string
 exception Too_many_tracks of int
 exception Fixpoint_diverged of int
 
-val schedule : ?params:params -> Ftes_ftcpg.Ftcpg.t -> Table.t
+val schedule : ?params:params -> ?jobs:int -> Ftes_ftcpg.Ftcpg.t -> Table.t
+(** Incremental scheduler: guard-aware ready set, memoized tentative
+    placements (invalidated by physical resource change), persistent
+    copy-on-write timeline array, and — for [jobs > 1] — parallel
+    exploration of independent fault/no-fault subtrees on the
+    {!Ftes_util.Par} pool with a deterministic depth-first merge. The
+    produced table is byte-identical for every [jobs] value and to
+    {!schedule_reference}. [jobs] defaults to 1 (sequential). *)
+
+val schedule_reference : ?params:params -> Ftes_ftcpg.Ftcpg.t -> Table.t
+(** Direct transcription of the paper's algorithm (full vertex rescan
+    per commit, timeline array copied per commit, sequential branch
+    exploration). Kept as the digest oracle for {!schedule} and as the
+    baseline of the scheduler-scaling bench. *)

@@ -85,9 +85,15 @@ let evaluate ?(ft = true) (problem : Problem.t) =
   let node_tl = Array.make (Arch.node_count arch) Timeline.empty in
   let busa = ref (Busalloc.create bus ~nodes:(Arch.node_count arch)) in
   let placements = Array.make nprocs [] in
+  (* Copy-indexed views, filled once when a process (or its outgoing
+     transmissions) is placed: every consumer then reads its producers
+     by direct indexing instead of List.find / hashing per copy. *)
+  let by_copy : placement array array = Array.make nprocs [||] in
+  let msg_by_copy : msg_placement option array array =
+    Array.make (Array.length (Graph.messages g)) [||]
+  in
   (* msg transmissions: (mid, producer copy) -> msg_placement *)
   let msgs : (int * int, msg_placement) Hashtbl.t = Hashtbl.create 64 in
-  let msg_done mid copy = Hashtbl.find msgs (mid, copy) in
   let place_on_bus ~src ~size ~earliest =
     let busa', w = Busalloc.place !busa ~src ~size ~earliest in
     busa := busa';
@@ -101,34 +107,38 @@ let evaluate ?(ft = true) (problem : Problem.t) =
   let arrival_at mid cnode =
     let m = Graph.message g mid in
     let src_pid = m.Graph.src in
-    let arrivals =
-      List.map
-        (fun copy ->
-          let mp = msg_done mid copy in
-          let src_node = Mapping.node_of mapping ~pid:src_pid ~copy in
-          if src_node = cnode then mp.start else mp.finish)
-        (List.init (copies src_pid) (fun i -> i))
-    in
-    match arrivals with
-    | [] -> 0.
-    | t :: rest -> List.fold_left min t rest
+    let mps = msg_by_copy.(mid) in
+    let n = Array.length mps in
+    if n = 0 then 0.
+    else begin
+      let at copy =
+        let mp = Option.get mps.(copy) in
+        let src_node = Mapping.node_of mapping ~pid:src_pid ~copy in
+        if src_node = cnode then mp.start else mp.finish
+      in
+      let acc = ref (at 0) in
+      for copy = 1 to n - 1 do
+        acc := min !acc (at copy)
+      done;
+      !acc
+    end
   in
   (* Worst-case arrival (for frozen consumers): producer worst-case
      completion plus raw transmission time. *)
   let worst_arrival_at mid cnode =
     let m = Graph.message g mid in
     let src_pid = m.Graph.src in
-    List.fold_left
-      (fun acc copy ->
-        let p =
-          List.find (fun (pl : placement) -> pl.copy = copy)
-            placements.(src_pid)
-        in
-        let src_node = Mapping.node_of mapping ~pid:src_pid ~copy in
-        let tx = if src_node = cnode then 0. else Bus.tx_time bus ~size:m.Graph.size in
-        max acc (p.worst_finish +. tx))
-      0.
-      (List.init (copies src_pid) (fun i -> i))
+    let pls = by_copy.(src_pid) in
+    let acc = ref 0. in
+    for copy = 0 to Array.length pls - 1 do
+      let p = pls.(copy) in
+      let src_node = Mapping.node_of mapping ~pid:src_pid ~copy in
+      let tx =
+        if src_node = cnode then 0. else Bus.tx_time bus ~size:m.Graph.size
+      in
+      acc := max !acc (p.worst_finish +. tx)
+    done;
+    !acc
   in
   let place_process pid =
     let proc = Graph.process g pid in
@@ -154,7 +164,12 @@ let evaluate ?(ft = true) (problem : Problem.t) =
           worst_finish = start +. w }
         :: placements.(pid)
     done;
-    (* Transmissions of this process's outputs, one per producer copy. *)
+    (* [placements.(pid)] lists copies in descending order; the
+       copy-indexed view inverts that once. *)
+    by_copy.(pid) <- Array.of_list (List.rev placements.(pid));
+    (* Transmissions of this process's outputs, one per producer copy.
+       Bus placement order (descending copy) is part of the pinned
+       schedule and must not change. *)
     List.iter
       (fun mid ->
         let m = Graph.message g mid in
@@ -163,6 +178,7 @@ let evaluate ?(ft = true) (problem : Problem.t) =
           List.init (copies m.Graph.dst) (fun c ->
               Mapping.node_of mapping ~pid:m.Graph.dst ~copy:c)
         in
+        let mps = Array.make (copies pid) None in
         List.iter
           (fun (pl : placement) ->
             let send_ready = if frozen_m then pl.worst_finish else pl.finish in
@@ -178,8 +194,10 @@ let evaluate ?(ft = true) (problem : Problem.t) =
                 { mid; copy = pl.copy; start = send_ready;
                   finish = send_ready; on_bus = false }
             in
+            mps.(pl.copy) <- Some mp;
             Hashtbl.replace msgs (mid, pl.copy) mp)
-          placements.(pid))
+          placements.(pid);
+        msg_by_copy.(mid) <- mps)
       (Graph.out_messages g pid)
   in
   (* Priority list scheduling at process granularity: a process is ready

@@ -1,38 +1,51 @@
-(* Sorted list of non-overlapping, non-empty [start, finish) intervals.
-   Touching intervals (finish = next start) are kept separate; the eps
-   guards against float noise when the caller re-derives boundaries. *)
+(* Non-overlapping, non-empty [start, finish) intervals, kept sorted by
+   DESCENDING start. Scheduler reservations are near-monotone (each
+   commit usually lands after everything already on the resource), so
+   keeping the latest interval at the head makes the common reserve an
+   O(1) cons instead of an O(n) tail insert. Touching intervals
+   (finish = next start) are kept separate; the eps guards against
+   float noise when the caller re-derives boundaries.
 
-type t = (float * float) list
+   [busy] caches the maximum reservation end (0. when empty) — it gates
+   an exact earliest-gap fast path: a request starting at or after every
+   existing reservation can never conflict. *)
+
+type t = { desc : (float * float) list; busy : float }
 
 let eps = 1e-9
 
-let empty = []
+let empty = { desc = []; busy = 0. }
 
 let overlaps (s1, f1) (s2, f2) = s1 < f2 -. eps && s2 < f1 -. eps
 
-let conflict_end t ~start ~finish =
-  List.find_map
-    (fun (s, f) -> if overlaps (s, f) (start, finish) then Some f else None)
-    t
+let is_free t ~start ~finish =
+  not (List.exists (fun iv -> overlaps iv (start, finish)) t.desc)
 
-let is_free t ~start ~finish = conflict_end t ~start ~finish = None
-
+(* Stored intervals all satisfy finish > start + eps (zero-length
+   reservations are dropped below), so for any candidate the
+   insert-before test [finish <= s' + eps] and the fully-after test
+   [f' <= start + eps] are mutually exclusive: the insertion point is
+   unique and the raise condition is exactly "some stored interval
+   overlaps". *)
 let rec insert (s, f) = function
   | [] -> [ (s, f) ]
   | (s', f') :: rest as l ->
-      if f <= s' +. eps then (s, f) :: l
-      else if f' <= s +. eps then (s', f') :: insert (s, f) rest
+      if f' <= s +. eps then (s, f) :: l (* after the head: O(1) fast path *)
+      else if f <= s' +. eps then (s', f') :: insert (s, f) rest
       else invalid_arg "Timeline.reserve: overlapping reservation"
 
 let reserve t ~start ~finish =
   if finish <= start +. eps then
     if finish < start then invalid_arg "Timeline.reserve: negative interval"
     else t (* zero-length reservations occupy nothing *)
-  else insert (start, finish) t
+  else { desc = insert (start, finish) t.desc; busy = max t.busy finish }
 
 let earliest_gap t ~from_ ~duration =
   if duration <= eps then
     (* Zero-duration items fit anywhere at or after [from_]. *)
+    from_
+  else if t.busy <= from_ then
+    (* Every reservation ends at or before [from_]: nothing conflicts. *)
     from_
   else
     let rec go pos = function
@@ -40,8 +53,8 @@ let earliest_gap t ~from_ ~duration =
       | (s, f) :: rest ->
           if pos +. duration <= s +. eps then pos else go (max pos f) rest
     in
-    go from_ t
+    go from_ (List.rev t.desc)
 
-let intervals t = t
+let intervals t = List.rev t.desc
 
-let busy_until t = List.fold_left (fun acc (_, f) -> max acc f) 0. t
+let busy_until t = t.busy

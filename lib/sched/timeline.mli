@@ -13,15 +13,12 @@ val reserve : t -> start:float -> finish:float -> t
 
 val is_free : t -> start:float -> finish:float -> bool
 
-val conflict_end : t -> start:float -> finish:float -> float option
-(** End of the earliest reservation overlapping [start, finish), if
-    any — the next candidate position when searching for a window. *)
-
 val earliest_gap : t -> from_:float -> duration:float -> float
-(** Earliest [s >= from_] such that [s, s + duration) is free. *)
+(** Earliest [s >= from_] such that [s, s + duration) is free. When
+    [from_] is at or past every reservation this is O(1). *)
 
 val intervals : t -> (float * float) list
-(** Sorted, non-overlapping. *)
+(** Ascending by start, non-overlapping. *)
 
 val busy_until : t -> float
-(** End of the last reservation; 0. when empty. *)
+(** End of the last reservation; 0. when empty. O(1). *)

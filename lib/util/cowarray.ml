@@ -1,0 +1,82 @@
+(* Balanced binary tree over the index range, built once from an array.
+   [set] copies the O(log n) path to the leaf; everything else is
+   shared, so forked scheduler branches keep whole subtrees in common.
+   The structure is immutable — unlike Baker-style rerooting arrays it
+   never mutates on read, so concurrent domains may read any version
+   freely. *)
+
+type 'a tree =
+  | Leaf of 'a
+  | Node of { left : 'a tree; right : 'a tree; lsize : int }
+
+type 'a t = { len : int; root : 'a tree option }
+
+let length t = t.len
+
+let of_array arr =
+  let rec build lo hi =
+    if hi - lo = 1 then Leaf arr.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      Node { left = build lo mid; right = build mid hi; lsize = mid - lo }
+  in
+  let n = Array.length arr in
+  { len = n; root = (if n = 0 then None else Some (build 0 n)) }
+
+let init n f = of_array (Array.init n f)
+
+let make n x = of_array (Array.make n x)
+
+let check_index t i op =
+  if i < 0 || i >= t.len then invalid_arg ("Cowarray." ^ op ^ ": index out of bounds")
+
+let get t i =
+  check_index t i "get";
+  let rec go i = function
+    | Leaf x -> x
+    | Node { left; right; lsize } ->
+        if i < lsize then go i left else go (i - lsize) right
+  in
+  go i (Option.get t.root)
+
+let set t i x =
+  check_index t i "set";
+  let rec go i = function
+    | Leaf _ -> Leaf x
+    | Node ({ left; right; lsize } as n) ->
+        if i < lsize then Node { n with left = go i left }
+        else Node { n with right = go (i - lsize) right }
+  in
+  { t with root = Some (go i (Option.get t.root)) }
+
+let to_array t =
+  match t.root with
+  | None -> [||]
+  | Some root ->
+      let first = ref None in
+      let rec leftmost = function
+        | Leaf x -> x
+        | Node { left; _ } -> leftmost left
+      in
+      first := Some (leftmost root);
+      let arr = Array.make t.len (Option.get !first) in
+      let rec fill off = function
+        | Leaf x -> arr.(off) <- x
+        | Node { left; right; lsize } ->
+            fill off left;
+            fill (off + lsize) right
+      in
+      fill 0 root;
+      arr
+
+let iteri f t =
+  match t.root with
+  | None -> ()
+  | Some root ->
+      let rec go off = function
+        | Leaf x -> f off x
+        | Node { left; right; lsize } ->
+            go off left;
+            go (off + lsize) right
+      in
+      go 0 root

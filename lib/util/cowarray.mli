@@ -1,0 +1,35 @@
+(** Persistent fixed-length array with O(log n) copy-on-write updates.
+
+    The conditional scheduler forks an execution track at every
+    condition revelation; each branch continues with its own view of
+    every per-node resource timeline. Copying the whole timeline array
+    on each commit is O(nodes) per commit and O(nodes · commits) per
+    track — this structure shares all untouched indices between
+    branches and copies only the path to the written slot.
+
+    The representation is a balanced binary tree built once over the
+    index range. It is purely functional: no version is ever mutated,
+    so scheduler branches running on different domains may read any
+    snapshot concurrently without synchronization (which rules out the
+    classic Baker rerooting representation — rerooting mutates on
+    read). *)
+
+type 'a t
+
+val of_array : 'a array -> 'a t
+(** The input array is copied; later mutations of it are not seen. *)
+
+val init : int -> (int -> 'a) -> 'a t
+val make : int -> 'a -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds index. *)
+
+val set : 'a t -> int -> 'a -> 'a t
+(** Persistent update: returns a new version, sharing all other slots.
+    @raise Invalid_argument on out-of-bounds index. *)
+
+val to_array : 'a t -> 'a array
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

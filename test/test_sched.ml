@@ -36,12 +36,56 @@ let test_timeline_gap () =
   Helpers.check_float "zero duration anywhere" 15.
     (Timeline.earliest_gap t ~from_:15. ~duration:0.)
 
-let test_timeline_conflict_end () =
+let test_timeline_busy_until () =
+  Helpers.check_float "empty" 0. (Timeline.busy_until Timeline.empty);
   let t = Timeline.reserve Timeline.empty ~start:10. ~finish:20. in
-  Alcotest.(check (option (Helpers.approx ()))) "conflict" (Some 20.)
-    (Timeline.conflict_end t ~start:15. ~finish:25.);
-  Alcotest.(check (option (Helpers.approx ()))) "no conflict" None
-    (Timeline.conflict_end t ~start:20. ~finish:25.)
+  Helpers.check_float "single" 20. (Timeline.busy_until t);
+  (* Backfilling an earlier gap must not move the busy horizon. *)
+  let t = Timeline.reserve t ~start:0. ~finish:5. in
+  Helpers.check_float "backfilled" 20. (Timeline.busy_until t);
+  (* Zero-length reservations occupy nothing and move nothing. *)
+  let t = Timeline.reserve t ~start:30. ~finish:30. in
+  Helpers.check_float "zero-length ignored" 20. (Timeline.busy_until t)
+
+let test_timeline_touching_intervals () =
+  (* Exactly-touching reservations (finish = next start) are legal in
+     either insertion order, and within-eps touches are too. *)
+  let t = Timeline.reserve Timeline.empty ~start:10. ~finish:20. in
+  let t = Timeline.reserve t ~start:20. ~finish:30. in
+  let t = Timeline.reserve t ~start:0. ~finish:10. in
+  Alcotest.(check int) "three intervals" 3 (List.length (Timeline.intervals t));
+  let t' = Timeline.reserve t ~start:(30. -. 1e-10) ~finish:40. in
+  Alcotest.(check int) "eps-touching accepted" 4
+    (List.length (Timeline.intervals t'));
+  Alcotest.check_raises "past-eps overlap rejected"
+    (Invalid_argument "Timeline.reserve: overlapping reservation") (fun () ->
+      ignore (Timeline.reserve t ~start:29.9 ~finish:40.));
+  (* The intervals list stays sorted ascending whatever the insertion
+     order. *)
+  let sorted l = List.sort compare l = l in
+  Alcotest.(check bool) "ascending" true (sorted (Timeline.intervals t'))
+
+let test_timeline_gap_edges () =
+  let t = Timeline.reserve Timeline.empty ~start:10. ~finish:20. in
+  let t = Timeline.reserve t ~start:25. ~finish:35. in
+  (* A duration that exactly fits the inter-reservation gap lands in it. *)
+  Helpers.check_float "exact fit" 20.
+    (Timeline.earliest_gap t ~from_:12. ~duration:5.);
+  (* One past the gap skips to the end of all reservations. *)
+  Helpers.check_float "too wide" 35.
+    (Timeline.earliest_gap t ~from_:12. ~duration:5.1);
+  (* from_ inside a reservation is pushed to its end. *)
+  Helpers.check_float "inside reservation" 20.
+    (Timeline.earliest_gap t ~from_:12. ~duration:3.);
+  (* from_ past the busy horizon returns from_ (the fast path). *)
+  Helpers.check_float "past horizon" 50.
+    (Timeline.earliest_gap t ~from_:50. ~duration:100.);
+  (* Zero-duration items fit even inside a reservation. *)
+  Helpers.check_float "zero duration inside" 15.
+    (Timeline.earliest_gap t ~from_:15. ~duration:0.);
+  Alcotest.check_raises "negative interval"
+    (Invalid_argument "Timeline.reserve: negative interval") (fun () ->
+      ignore (Timeline.reserve t ~start:5. ~finish:4.))
 
 let timeline_props =
   let arb =
@@ -201,6 +245,42 @@ let test_conditional_track_cap () =
     | exception Conditional.Too_many_tracks 2 -> true
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental scheduler vs. reference scheduler                       *)
+(* ------------------------------------------------------------------ *)
+
+let table_digest t =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Table.pp t))
+
+(* The rebuilt scheduler (ready set + placement cache + COW timelines +
+   parallel subtrees) must reproduce the reference transcription
+   byte-for-byte: same digests for every jobs value, every fan depth
+   (including degenerate frontier cuts) and with telemetry recording. *)
+let test_incremental_matches_reference_fig5 () =
+  let f = Ftcpg.build (Helpers.fig5_problem ()) in
+  let d_ref = table_digest (Conditional.schedule_reference f) in
+  Alcotest.(check string) "jobs=1" d_ref
+    (table_digest (Conditional.schedule ~jobs:1 f));
+  Alcotest.(check string) "jobs=4" d_ref
+    (table_digest (Conditional.schedule ~jobs:4 f));
+  List.iter
+    (fun fan_depth ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=4 fan_depth=%d" fan_depth)
+        d_ref
+        (table_digest
+           (Conditional.schedule
+              ~params:{ Conditional.default_params with fan_depth }
+              ~jobs:4 f)))
+    [ 0; 1; 2 ];
+  Ftes_util.Telemetry.enable ();
+  let d_tel1 = table_digest (Conditional.schedule ~jobs:1 f) in
+  let d_tel4 = table_digest (Conditional.schedule ~jobs:4 f) in
+  Ftes_util.Telemetry.disable ();
+  Ftes_util.Telemetry.reset ();
+  Alcotest.(check string) "telemetry on, jobs=1" d_ref d_tel1;
+  Alcotest.(check string) "telemetry on, jobs=4" d_ref d_tel4
+
 let sched_props =
   let arb =
     QCheck.make
@@ -208,6 +288,15 @@ let sched_props =
       QCheck.Gen.(triple (int_bound 10_000) (int_range 3 9) (int_range 1 2))
   in
   [
+    Helpers.qtest ~count:30 "incremental matches reference, jobs 1 and 4" arb
+      (fun (seed, n, k) ->
+        (* Frozen vertices are on, so multi-iteration fixpoints are
+           exercised; mixed policies exercise replication forks. *)
+        let p = Helpers.random_problem ~processes:n ~nodes:2 ~k ~seed () in
+        let f = Ftcpg.build p in
+        let d = table_digest (Conditional.schedule_reference f) in
+        table_digest (Conditional.schedule f) = d
+        && table_digest (Conditional.schedule ~jobs:4 f) = d);
     Helpers.qtest ~count:40 "worst-case length dominates every track" arb
       (fun (seed, n, k) ->
         let p = Helpers.random_problem ~processes:n ~nodes:2 ~k ~seed () in
@@ -427,7 +516,10 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_timeline_basics;
           Alcotest.test_case "gaps" `Quick test_timeline_gap;
-          Alcotest.test_case "conflict end" `Quick test_timeline_conflict_end;
+          Alcotest.test_case "busy until" `Quick test_timeline_busy_until;
+          Alcotest.test_case "touching intervals" `Quick
+            test_timeline_touching_intervals;
+          Alcotest.test_case "gap edge cases" `Quick test_timeline_gap_edges;
         ]
         @ timeline_props );
       ( "busalloc",
@@ -449,6 +541,8 @@ let () =
           Alcotest.test_case "deadline violations" `Quick
             test_conditional_deadline_violation;
           Alcotest.test_case "track cap" `Quick test_conditional_track_cap;
+          Alcotest.test_case "incremental matches reference (fig5)" `Quick
+            test_incremental_matches_reference_fig5;
         ]
         @ sched_props );
       ( "slack",
