@@ -11,13 +11,16 @@
 
    Timing of every sweep (jobs, wall seconds, scenarios/s where
    applicable) plus one per-phase wall-clock record is written as a
-   JSON object {"schema_version": N, "records": [...]}, BENCH_PR5.json
+   JSON object {"schema_version": N, "records": [...]}, BENCH_PR6.json
    by default. The "cache" section compares a tabu-driven strategy run
    with and without the memoized design-evaluation cache (Evalcache)
    and records the hit rate; the "telemetry" section measures the
    overhead of span/counter recording on the same search; the "sched"
    section sweeps conditional scheduling (vertices x k x jobs) against
-   the reference scheduler and checks byte-identical tables. With
+   the reference scheduler and checks byte-identical tables; the
+   "corpus" section runs the pinned benchmark corpus (smoke+standard in
+   quick mode, everything otherwise), gates it against
+   corpus/manifest.json and records one per-instance timing. With
    "--trace FILE" the whole harness runs with telemetry enabled and
    writes a Chrome trace-event JSON file at the end.
 *)
@@ -47,7 +50,7 @@ let jobs =
           Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
             s;
           exit 2)
-let json_path = flag_value "--json" "BENCH_PR5.json" Fun.id
+let json_path = flag_value "--json" "BENCH_PR6.json" Fun.id
 let trace_path = flag_value "--trace" None (fun s -> Some s)
 
 let selected =
@@ -55,7 +58,7 @@ let selected =
     Array.to_list Sys.argv
     |> List.filter (fun a ->
            a = "ablation" || a = "validation" || a = "cache"
-           || a = "telemetry" || a = "sched"
+           || a = "telemetry" || a = "sched" || a = "corpus"
            || (String.length a > 3 && String.sub a 0 3 = "fig"))
   in
   fun name -> wanted = [] || List.mem name wanted
@@ -67,7 +70,7 @@ let selected =
 (* Every record in the output file goes through this one typed field
    representation so the three record shapes (sweep timing, phase
    timing, comparison records) stay structurally consistent. *)
-let schema_version = 4
+let schema_version = 5
 
 type jfield =
   | JStr of string
@@ -499,6 +502,78 @@ let run_telemetry_bench () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Corpus: the pinned regression corpus through the parallel runner    *)
+(* ------------------------------------------------------------------ *)
+
+let run_corpus_bench () =
+  let module Corpus = Ftes_corpus.Registry in
+  let module Runner = Ftes_corpus.Runner in
+  let module Manifest = Ftes_corpus.Manifest in
+  let module CI = Ftes_corpus.Instance in
+  section
+    "Corpus - pinned benchmark corpus on the domain pool\n\
+     (every instance re-evaluated and gated against corpus/manifest.json:\n\
+     digests, schedule lengths, verdicts and budget tiers must match)";
+  let tiers = if quick then Some [ CI.Smoke; CI.Standard ] else None in
+  let instances = Corpus.select ?tiers () in
+  let complete = tiers = None in
+  Printf.printf "  instances: %d of %d (%s), %d job(s)\n"
+    (List.length instances)
+    (List.length (Corpus.all ()))
+    (if quick then "smoke+standard" else "full corpus")
+    jobs;
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Runner.run ~jobs instances in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (o : Runner.outcome) ->
+      record_json
+        [
+          ("name", JStr "corpus");
+          ("id", JStr o.Runner.instance.CI.id);
+          ("tier", JStr (CI.tier_to_string o.Runner.instance.CI.tier));
+          ("kind", JStr (CI.check_kind o.Runner.instance.CI.check));
+          ("wall_s", JFloat (o.Runner.wall_ms /. 1000.));
+          ("ok", JBool o.Runner.ok);
+        ])
+    outcomes;
+  let failed = List.filter (fun o -> not o.Runner.ok) outcomes in
+  Printf.printf "  evaluated %d instance(s) in %.1f s (%d failed)\n"
+    (List.length outcomes) wall (List.length failed);
+  let manifest_path = "corpus/manifest.json" in
+  let regressions =
+    if Sys.file_exists manifest_path then
+      match Manifest.load manifest_path with
+      | Ok manifest ->
+          let failures = Runner.verify ~complete ~manifest outcomes in
+          List.iter
+            (fun (f : Runner.failure) ->
+              Printf.printf "  ! %s: %s\n" f.Runner.id f.Runner.reason)
+            failures;
+          Printf.printf "  manifest gate: %s\n"
+            (if failures = [] then "OK" else "REGRESSIONS");
+          List.length failures
+      | Error msg ->
+          Printf.printf "  ! manifest unreadable: %s\n" msg;
+          1
+    else begin
+      (* Running from a cwd without the checked-in manifest (e.g. a raw
+         _build invocation): still benchmark, just skip the gate. *)
+      Printf.printf "  manifest gate: skipped (%s not found)\n" manifest_path;
+      0
+    end
+  in
+  record_json
+    [
+      ("name", JStr "corpus-summary");
+      ("jobs", JInt jobs);
+      ("instances", JInt (List.length outcomes));
+      ("failed", JInt (List.length failed));
+      ("regressions", JInt regressions);
+      ("wall_s", JFloat wall);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core algorithms                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -586,6 +661,7 @@ let () =
   if selected "sched" then timed_phase "sched-scaling" run_sched_bench;
   if selected "cache" then timed_phase "cache" run_cache_bench;
   if selected "telemetry" then timed_phase "telemetry" run_telemetry_bench;
+  if selected "corpus" then timed_phase "corpus" run_corpus_bench;
   timed_phase "micro" run_micro;
   write_json ();
   (match trace_path with

@@ -398,6 +398,184 @@ let experiment_cmd =
     Term.(const experiment $ which $ quick)
 
 (* ------------------------------------------------------------------ *)
+(* corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Corpus_instance = Ftes_corpus.Instance
+module Corpus_registry = Ftes_corpus.Registry
+module Corpus_manifest = Ftes_corpus.Manifest
+module Corpus_runner = Ftes_corpus.Runner
+
+let tier_conv =
+  let parse s =
+    match Corpus_instance.tier_of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown tier %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf (Corpus_instance.tier_to_string t)
+  in
+  Arg.conv (parse, print)
+
+let corpus_select tiers filter =
+  let tiers = if tiers = [] then None else Some tiers in
+  Corpus_registry.select ?tiers ?filter ()
+
+let print_outcome ~done_count ~total (o : Corpus_runner.outcome) =
+  Format.printf "[%3d/%3d] %-34s %-8s %-16s %8.1f ms  %-16s len %.1f@."
+    done_count total o.Corpus_runner.instance.Corpus_instance.id
+    (Corpus_instance.tier_to_string
+       o.Corpus_runner.instance.Corpus_instance.tier)
+    (Corpus_instance.check_kind
+       o.Corpus_runner.instance.Corpus_instance.check)
+    o.Corpus_runner.wall_ms
+    (if o.Corpus_runner.ok then o.Corpus_runner.verdict
+     else "FAILED: " ^ o.Corpus_runner.detail)
+    o.Corpus_runner.length
+
+let corpus_list tiers filter =
+  let instances = corpus_select tiers filter in
+  List.iter
+    (fun (i : Corpus_instance.t) ->
+      Format.printf "%-34s %-8s %-16s k=%d  %s@." i.Corpus_instance.id
+        (Corpus_instance.tier_to_string i.Corpus_instance.tier)
+        (Corpus_instance.check_kind i.Corpus_instance.check)
+        i.Corpus_instance.k
+        (String.concat " "
+           (List.filter_map
+              (fun key ->
+                Option.map
+                  (fun v -> key ^ "=" ^ v)
+                  (Corpus_instance.axis i key))
+              [ "shape"; "bus"; "transparency"; "wcet"; "class" ])))
+    instances;
+  Format.printf "%d instance(s)@." (List.length instances)
+
+let corpus_run tiers filter jobs =
+  let instances = corpus_select tiers filter in
+  let outcomes =
+    Corpus_runner.run ?jobs ~on_outcome:print_outcome instances
+  in
+  let failed = List.filter (fun o -> not o.Corpus_runner.ok) outcomes in
+  let wall =
+    List.fold_left (fun acc o -> acc +. o.Corpus_runner.wall_ms) 0. outcomes
+  in
+  Format.printf "@.%d instance(s), %.1f s total instance time, %d failure(s)@."
+    (List.length outcomes) (wall /. 1000.) (List.length failed);
+  if failed <> [] then begin
+    List.iter
+      (fun o ->
+        Format.printf "  ! %s: %s@."
+          o.Corpus_runner.instance.Corpus_instance.id o.Corpus_runner.detail)
+      failed;
+    exit 1
+  end
+
+let corpus_verify tiers filter jobs manifest_path budget_factor =
+  match Corpus_manifest.load manifest_path with
+  | Error msg ->
+      Format.eprintf "cannot load manifest %s: %s@." manifest_path msg;
+      exit 2
+  | Ok manifest ->
+      let instances = corpus_select tiers filter in
+      let complete = tiers = [] && filter = None in
+      let outcomes =
+        Corpus_runner.run ?jobs ~on_outcome:print_outcome instances
+      in
+      let failures =
+        Corpus_runner.verify ~budget_factor ~complete ~manifest outcomes
+      in
+      if failures = [] then
+        Format.printf "@.corpus verify: OK (%d instance(s) match %s)@."
+          (List.length outcomes) manifest_path
+      else begin
+        Format.printf "@.corpus verify FAILED (%d regression(s)):@."
+          (List.length failures);
+        List.iter
+          (fun (f : Corpus_runner.failure) ->
+            Format.printf "  ! %s: %s@." f.Corpus_runner.id
+              f.Corpus_runner.reason)
+          failures;
+        exit 1
+      end
+
+let corpus_pin jobs manifest_path =
+  let instances = Corpus_registry.all () in
+  let outcomes =
+    Corpus_runner.run ?jobs ~on_outcome:print_outcome instances
+  in
+  (match List.find_opt (fun o -> not o.Corpus_runner.ok) outcomes with
+  | Some o ->
+      Format.eprintf
+        "corpus pin: refusing to pin a failing instance (%s: %s)@."
+        o.Corpus_runner.instance.Corpus_instance.id o.Corpus_runner.detail;
+      exit 1
+  | None -> ());
+  Corpus_manifest.save manifest_path (Corpus_runner.pin outcomes);
+  Format.printf "@.pinned %d instance(s) into %s@." (List.length outcomes)
+    manifest_path
+
+let corpus_cmd =
+  let tiers =
+    Arg.(value & opt_all tier_conv []
+           & info [ "tier" ] ~doc:"Only this budget tier (repeatable): \
+                                   smoke | standard | heavy.")
+  in
+  let filter =
+    Arg.(value & opt (some string) None
+           & info [ "filter" ]
+               ~doc:"Only instances whose id or axis values contain this \
+                     substring (e.g. 'bursty', 'single', 'soft').")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
+           ~doc:"Domains used to evaluate instances in parallel \
+                 (default: all cores).")
+  in
+  let manifest_path =
+    Arg.(value & opt string "corpus/manifest.json"
+           & info [ "manifest" ] ~docv:"FILE" ~doc:"Manifest path.")
+  in
+  let budget_factor =
+    Arg.(value & opt float 1.0
+           & info [ "budget-factor" ]
+               ~doc:"Multiplier on the per-tier runtime ceilings before a \
+                     budget regression is reported.")
+  in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List corpus instances and their axes.")
+      Term.(const corpus_list $ tiers $ filter)
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Execute corpus instances (no manifest comparison).")
+      Term.(const corpus_run $ tiers $ filter $ jobs)
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Execute corpus instances and fail on any digest, length, \
+               verdict or budget regression against the manifest.")
+      Term.(const corpus_verify $ tiers $ filter $ jobs $ manifest_path
+            $ budget_factor)
+  in
+  let pin_cmd =
+    Cmd.v
+      (Cmd.info "pin"
+         ~doc:"Execute the full corpus and (re)write the manifest oracle.")
+      Term.(const corpus_pin $ jobs $ manifest_path)
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:"The regression-gated benchmark corpus: 160+ pinned instances \
+             spanning DAG shapes, fault hypotheses up to k=7, both bus \
+             models, transparency densities, WCET heterogeneity and \
+             soft-goal variants.")
+    [ list_cmd; run_cmd; verify_cmd; pin_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* reliability                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -448,6 +626,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "ftes" ~version:"1.0.0" ~doc)
     [ generate_cmd; info_cmd; synthesize_cmd; simulate_cmd; experiment_cmd;
-      reliability_cmd ]
+      corpus_cmd; reliability_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

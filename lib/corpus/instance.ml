@@ -1,0 +1,65 @@
+(* Named, pinned benchmark instances: pure descriptions of a synthesis
+   problem plus how its result is digested, validated and budgeted. *)
+
+module Gen = Ftes_workload.Gen
+module Suite = Ftes_core.Example_suite
+
+type shape = Uniform | Deep | Bursty
+type tier = Smoke | Standard | Heavy
+
+type check =
+  | Exhaustive
+  | Sampled of int
+  | Estimate
+  | Soft of { soft_prob : float }
+
+type source = Example of string | Generated of Ftes_workload.Gen.spec
+
+type t = {
+  id : string;
+  source : source;
+  k : int;
+  check : check;
+  tier : tier;
+  axes : (string * string) list;
+}
+
+let problem t =
+  match t.source with
+  | Generated spec -> Gen.problem ~k:t.k spec
+  | Example "fig3" -> Suite.fig3 ~k:t.k
+  | Example "fig5" -> Suite.fig5 ()
+  | Example "cruise" -> Suite.cruise_control ~k:t.k
+  | Example "vision" -> Suite.vision ~k:t.k
+  | Example "tradeoff" -> Suite.tradeoff ~k:t.k
+  | Example other ->
+      invalid_arg (Printf.sprintf "Corpus.Instance: unknown example %S" other)
+
+let tier_to_string = function
+  | Smoke -> "smoke"
+  | Standard -> "standard"
+  | Heavy -> "heavy"
+
+let tier_of_string = function
+  | "smoke" -> Some Smoke
+  | "standard" -> Some Standard
+  | "heavy" -> Some Heavy
+  | _ -> None
+
+let check_kind = function
+  | Exhaustive -> "table-exhaustive"
+  | Sampled _ -> "table-sampled"
+  | Estimate -> "estimate"
+  | Soft _ -> "soft"
+
+let axis t name = List.assoc_opt name t.axes
+
+(* FNV-1a over the id, folded into a non-negative int — gives sampled
+   validation a reproducible RNG stream without storing seeds in the
+   manifest. *)
+let stable_seed id =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    id;
+  !h

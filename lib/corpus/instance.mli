@@ -1,0 +1,71 @@
+(** Named, pinned benchmark instances.
+
+    A corpus instance is a fully reproducible synthesis problem plus
+    the way it is checked: how its result is reduced to a digest, what
+    validation it undergoes, and which runtime-budget tier it belongs
+    to. Instances are pure data — building the same instance twice
+    yields structurally identical problems, so digests recorded in the
+    manifest pin the whole pipeline's output byte-for-byte. *)
+
+type shape =
+  | Uniform  (** Legacy layered DAG: ≈√n layers, uniform population. *)
+  | Deep  (** Chain-heavy: many layers, long dependency paths. *)
+  | Bursty  (** Wide: few layers with one hot layer concentrating most
+                processes (fan-out/fan-in bursts). *)
+
+type tier =
+  | Smoke  (** Runs in well under a second; the per-push CI gate. *)
+  | Standard  (** Seconds each; per-push CI still covers these. *)
+  | Heavy  (** The weekly full-corpus sweep only. *)
+
+type check =
+  | Exhaustive
+      (** Conditional schedule tables, digest of the rendered tables,
+          exhaustive fault-injection validation. *)
+  | Sampled of int
+      (** Tables as above; validation on that many sampled scenarios
+          (deterministic seed derived from the instance id). *)
+  | Estimate
+      (** Schedule-length estimator only (instances whose FT-CPG is out
+          of reach); digest of the rendered estimator result. *)
+  | Soft of { soft_prob : float }
+      (** Mixed soft/hard scheduling: a deterministic soft/hard split
+          (probability [soft_prob], seeded by the generator seed) and a
+          digest of the rendered placements and utilities. *)
+
+type source =
+  | Example of string
+      (** A constructor of {!Ftes_core.Example_suite}: ["fig3"],
+          ["fig5"], ["cruise"], ["vision"] or ["tradeoff"]. *)
+  | Generated of Ftes_workload.Gen.spec
+
+type t = {
+  id : string;  (** Unique, stable name (see DESIGN.md for the scheme). *)
+  source : source;
+  k : int;  (** Fault hypothesis. *)
+  check : check;
+  tier : tier;
+  axes : (string * string) list;
+      (** Tag set used for coverage assertions and CLI filtering, e.g.
+          [("shape", "bursty"); ("bus", "single"); ("k", "4")]. *)
+}
+
+val problem : t -> Ftes_ftcpg.Problem.t
+(** Build the instance's synthesis problem (default policies + fastest
+    mapping for generated sources; the example constructors for example
+    sources). Pure: repeated calls are structurally identical.
+    @raise Invalid_argument on an unknown example name. *)
+
+val tier_to_string : tier -> string
+val tier_of_string : string -> tier option
+val check_kind : check -> string
+(** ["table-exhaustive"] | ["table-sampled"] | ["estimate"] | ["soft"] —
+    the manifest's [kind] field. *)
+
+val axis : t -> string -> string option
+(** Value of one axis tag. *)
+
+val stable_seed : string -> int
+(** Deterministic non-negative seed derived from an instance id (FNV-1a)
+    — seeds sampled validation so runs are reproducible without storing
+    extra state. *)

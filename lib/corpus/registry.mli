@@ -1,0 +1,31 @@
+(** The deterministic instance registry.
+
+    {!all} enumerates the whole corpus — 160+ pinned instances spanning
+    the axes the paper's evaluation never varied:
+
+    - DAG shape: uniform layered, deep (chain-heavy), bursty (hot-layer
+      fan-out);
+    - fault hypothesis [k] from 1 to 7;
+    - both bus models (TDMA and contention single bus);
+    - transparency density (none vs. a quarter of the objects frozen);
+    - WCET heterogeneity (paper-like uniform, strongly heterogeneous,
+      near-flat);
+    - soft-goal variants (mixed soft/hard scheduling via [lib/soft]);
+    - the paper's own examples through {!Ftes_core.Example_suite}, at
+      several [k].
+
+    The registry is a pure function: two calls return structurally
+    equal lists in the same order, so the manifest digests pin every
+    instance. Instance ids encode their axes (see DESIGN.md). *)
+
+val all : unit -> Instance.t list
+(** The full corpus, in stable order, ids unique. *)
+
+val find : string -> Instance.t option
+(** Lookup by id. *)
+
+val select :
+  ?tiers:Instance.tier list -> ?filter:string -> unit -> Instance.t list
+(** Subset of {!all}: keep instances in one of [tiers] (all tiers when
+    omitted) whose id or axis values contain [filter] as a substring
+    (every instance when omitted). *)

@@ -1,0 +1,248 @@
+(* Corpus execution: evaluate instances on the domain pool, gate against
+   the manifest, pin a new one. *)
+
+module I = Instance
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module Problem = Ftes_ftcpg.Problem
+module Conditional = Ftes_sched.Conditional
+module Table = Ftes_sched.Table
+module Slack = Ftes_sched.Slack
+module Sim = Ftes_sim.Sim
+module Softsched = Ftes_soft.Softsched
+module Rng = Ftes_util.Rng
+module Par = Ftes_util.Par
+module Telemetry = Ftes_util.Telemetry
+
+let c_instances = Telemetry.counter "corpus.instances"
+let c_failures = Telemetry.counter "corpus.failures"
+
+type outcome = {
+  instance : I.t;
+  length : float;
+  digest : string;
+  verdict : string;
+  ok : bool;
+  detail : string;
+  wall_ms : float;
+}
+
+let tier_budget_ms = function
+  | I.Smoke -> 5_000.
+  | I.Standard -> 30_000.
+  | I.Heavy -> 120_000.
+
+let digest_of_string s = Digest.to_hex (Digest.string s)
+
+(* Inside a Par worker nested parallel calls run sequentially anyway;
+   jobs:1 makes the intent explicit — parallelism lives across
+   instances, and per-instance results stay jobs-independent. *)
+let evaluate_exn inst =
+  let p = I.problem inst in
+  match inst.I.check with
+  | I.Exhaustive | I.Sampled _ ->
+      (* Generated instances pin the deterministic default configuration
+         (re-execution policies, fastest mapping). Example instances run
+         the full synthesis flow — the paper's examples only meet their
+         deadlines after policy/mapping optimization, so their digests
+         additionally pin the optimizer's trajectory. *)
+      let table =
+        match inst.I.source with
+        | I.Generated _ -> Conditional.schedule (Ftcpg.build p)
+        | I.Example _ -> (
+            let s =
+              Ftes_core.Synthesis.synthesize ~app:p.Problem.app
+                ~arch:p.Problem.arch ~wcet:p.Problem.wcet ~k:p.Problem.k ()
+            in
+            match s.Ftes_core.Synthesis.table with
+            | Some t -> t
+            | None ->
+                failwith "synthesis produced no schedule tables")
+      in
+      let violations =
+        match inst.I.check with
+        | I.Exhaustive -> Sim.validate ~jobs:1 table
+        | I.Sampled samples ->
+            Sim.validate_sampled ~jobs:1
+              ~rng:(Rng.create (I.stable_seed inst.I.id))
+              ~samples table
+        | _ -> assert false
+      in
+      let digest = digest_of_string (Format.asprintf "%a" Table.pp table) in
+      let length = Table.schedule_length table in
+      let verdict =
+        match inst.I.check with
+        | I.Exhaustive -> "clean-exhaustive"
+        | _ -> "clean-sampled"
+      in
+      let ok = violations = [] in
+      let detail =
+        if ok then ""
+        else
+          Printf.sprintf "%d violation(s), first: %s" (List.length violations)
+            (Ftes_sim.Violation.to_string (List.hd violations))
+      in
+      (length, digest, verdict, ok, detail)
+  | I.Estimate ->
+      let r = Slack.evaluate p in
+      let digest =
+        digest_of_string (Format.asprintf "%a" Slack.pp_result r)
+      in
+      let ok = Float.is_finite r.Slack.length && r.Slack.length > 0. in
+      ( r.Slack.length,
+        digest,
+        "estimate-only",
+        ok,
+        if ok then "" else "estimator produced a degenerate length" )
+  | I.Soft { soft_prob } ->
+      let g = Problem.graph p in
+      let horizon = Slack.length ~ft:false p *. 1.5 in
+      let seed =
+        match inst.I.source with
+        | I.Generated spec -> spec.Ftes_workload.Gen.seed
+        | I.Example _ -> I.stable_seed inst.I.id
+      in
+      let classes =
+        Ftes_core.Experiments.mk_soft_classes ~rng:(Rng.create seed) ~graph:g
+          ~horizon ~soft_prob
+      in
+      let r = Softsched.schedule ~classes p in
+      let digest =
+        digest_of_string (Format.asprintf "%a" (Softsched.pp_result g) r)
+      in
+      let invariants_hold =
+        r.Softsched.utility_guaranteed
+        <= r.Softsched.utility_no_fault +. 1e-9
+        && r.Softsched.utility_no_fault <= r.Softsched.utility_bound +. 1e-9
+      in
+      ( r.Softsched.hard.Slack.length,
+        digest,
+        "soft",
+        invariants_hold,
+        if invariants_hold then "" else "soft utility invariants violated" )
+
+let evaluate inst =
+  let t0 = Unix.gettimeofday () in
+  let length, digest, verdict, ok, detail =
+    match evaluate_exn inst with
+    | result -> result
+    | exception Ftcpg.Too_large cap ->
+        (0., "", "error", false,
+         Printf.sprintf "FT-CPG expansion exceeded %d vertices" cap)
+    | exception exn ->
+        (0., "", "error", false, Printexc.to_string exn)
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Telemetry.incr c_instances;
+  if not ok then Telemetry.incr c_failures;
+  { instance = inst; length; digest; verdict; ok; detail; wall_ms }
+
+let run ?jobs ?on_outcome instances =
+  let total = List.length instances in
+  let batch_size =
+    max 4 (2 * Option.value jobs ~default:(Par.default_jobs ()))
+  in
+  let rec batches = function
+    | [] -> []
+    | xs ->
+        let rec take n = function
+          | x :: rest when n > 0 ->
+              let got, rem = take (n - 1) rest in
+              (x :: got, rem)
+          | rest -> ([], rest)
+        in
+        let batch, rest = take batch_size xs in
+        batch :: batches rest
+  in
+  let done_count = ref 0 in
+  List.concat_map
+    (fun batch ->
+      let outcomes = Par.map ?jobs evaluate batch in
+      List.iter
+        (fun o ->
+          incr done_count;
+          match on_outcome with
+          | Some f -> f ~done_count:!done_count ~total o
+          | None -> ())
+        outcomes;
+      outcomes)
+    (batches instances)
+
+type failure = { id : string; reason : string }
+
+let verify ?(budget_factor = 1.) ?(complete = false) ~manifest outcomes =
+  let failures = ref [] in
+  let fail id reason = failures := { id; reason } :: !failures in
+  List.iter
+    (fun o ->
+      let id = o.instance.I.id in
+      if not o.ok then fail id ("execution failed: " ^ o.detail)
+      else begin
+        match Manifest.find manifest id with
+        | None -> fail id "missing from manifest (run `ftes corpus pin`)"
+        | Some (e : Manifest.entry) ->
+            if e.Manifest.digest <> o.digest then
+              fail id
+                (Printf.sprintf "digest regression: manifest %s, got %s"
+                   e.Manifest.digest o.digest);
+            if Float.abs (e.Manifest.length -. o.length) > 1e-6 then
+              fail id
+                (Printf.sprintf "length regression: manifest %.6f, got %.6f"
+                   e.Manifest.length o.length);
+            if e.Manifest.verdict <> o.verdict then
+              fail id
+                (Printf.sprintf "verdict changed: manifest %S, got %S"
+                   e.Manifest.verdict o.verdict);
+            if e.Manifest.kind <> I.check_kind o.instance.I.check then
+              fail id
+                (Printf.sprintf "check kind changed: manifest %S, got %S"
+                   e.Manifest.kind
+                   (I.check_kind o.instance.I.check));
+            if e.Manifest.tier <> I.tier_to_string o.instance.I.tier then
+              fail id
+                (Printf.sprintf "tier changed: manifest %S, got %S"
+                   e.Manifest.tier
+                   (I.tier_to_string o.instance.I.tier));
+            let budget = budget_factor *. tier_budget_ms o.instance.I.tier in
+            if o.wall_ms > budget then
+              fail id
+                (Printf.sprintf
+                   "budget regression: %.0f ms exceeds the %s ceiling (%.0f \
+                    ms)"
+                   o.wall_ms
+                   (I.tier_to_string o.instance.I.tier)
+                   budget)
+      end)
+    outcomes;
+  if complete then begin
+    let seen = List.map (fun o -> o.instance.I.id) outcomes in
+    List.iter
+      (fun id ->
+        if not (List.mem id seen) then
+          fail id "stale manifest entry: no such instance in the registry")
+      (Manifest.ids manifest)
+  end;
+  List.rev !failures
+
+let pin outcomes =
+  List.iter
+    (fun o ->
+      if not o.ok then
+        invalid_arg
+          (Printf.sprintf "Corpus.Runner.pin: instance %s failed: %s"
+             o.instance.I.id o.detail))
+    outcomes;
+  {
+    Manifest.version = Manifest.schema_version;
+    entries =
+      List.map
+        (fun o ->
+          {
+            Manifest.id = o.instance.I.id;
+            tier = I.tier_to_string o.instance.I.tier;
+            kind = I.check_kind o.instance.I.check;
+            length = o.length;
+            digest = o.digest;
+            verdict = o.verdict;
+          })
+        outcomes;
+  }

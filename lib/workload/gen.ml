@@ -7,6 +7,8 @@ module Arch = Ftes_arch.Arch
 module Bus = Ftes_arch.Bus
 module Wcet = Ftes_arch.Wcet
 
+type bus_kind = Tdma | Single
+
 type spec = {
   seed : int;
   processes : int;
@@ -24,6 +26,9 @@ type spec = {
   frozen_proc_prob : float;
   frozen_msg_prob : float;
   tdma_slot : float;
+  bus : bus_kind;
+  wcet_jitter : float;
+  burstiness : float;
 }
 
 let default =
@@ -45,6 +50,9 @@ let default =
     frozen_proc_prob = 0.;
     frozen_msg_prob = 0.;
     tdma_slot = 10.;
+    bus = Tdma;
+    wcet_jitter = 1.;
+    burstiness = 0.;
   }
 
 let uniform rng lo hi =
@@ -53,22 +61,48 @@ let uniform rng lo hi =
 let instance spec =
   if spec.processes < 1 then invalid_arg "Gen.instance: no processes";
   if spec.nodes < 1 then invalid_arg "Gen.instance: no nodes";
+  if spec.burstiness < 0. || spec.burstiness > 1. then
+    invalid_arg "Gen.instance: burstiness outside [0, 1]";
+  if spec.wcet_jitter < 0. || spec.wcet_jitter > 1. then
+    invalid_arg "Gen.instance: wcet_jitter outside [0, 1]";
   let rng = Rng.create spec.seed in
   let nlayers =
     if spec.layers > 0 then min spec.layers spec.processes
     else max 2 (int_of_float (sqrt (float_of_int spec.processes)))
   in
-  (* Assign each process a layer; every layer gets at least one. *)
+  (* Assign each process a layer; every layer gets at least one. The
+     legacy uniform assignment (burstiness = 0) must keep its exact RNG
+     draw sequence — existing seeds are pinned byte-for-byte. Positive
+     burstiness concentrates the remaining processes in one hot layer,
+     yielding the wide, bursty fan-out shapes of the corpus. *)
+  let hot_layer = min 1 (nlayers - 1) in
   let layer_of = Array.make spec.processes 0 in
   for pid = 0 to spec.processes - 1 do
-    layer_of.(pid) <- (if pid < nlayers then pid else Rng.int rng nlayers)
+    layer_of.(pid) <-
+      (if pid < nlayers then pid
+       else if spec.burstiness <= 0. then Rng.int rng nlayers
+       else if Rng.chance rng spec.burstiness then hot_layer
+       else Rng.int rng nlayers)
   done;
   (* Overheads scale with the process's mean WCET. *)
   let b = Graph.Builder.create () in
+  (* WCET heterogeneity across nodes: jitter = 1 keeps the legacy fully
+     independent per-node draws (and their RNG stream); jitter < 1 draws
+     one base WCET per process and lets each node deviate by at most
+     ±jitter around it, clamped to the spec bounds — near-homogeneous
+     platforms at jitter ≈ 0, mildly heterogeneous ones in between. *)
   let wcets =
-    Array.init spec.processes (fun _ ->
-        Array.init spec.nodes (fun _ ->
-            uniform rng spec.wcet_min spec.wcet_max))
+    if spec.wcet_jitter >= 1. then
+      Array.init spec.processes (fun _ ->
+          Array.init spec.nodes (fun _ ->
+              uniform rng spec.wcet_min spec.wcet_max))
+    else
+      Array.init spec.processes (fun _ ->
+          let base = uniform rng spec.wcet_min spec.wcet_max in
+          Array.init spec.nodes (fun _ ->
+              let dev = spec.wcet_jitter *. ((2. *. Rng.float rng 1.) -. 1.) in
+              Float.min spec.wcet_max
+                (Float.max spec.wcet_min (base *. (1. +. dev)))))
   in
   for pid = 0 to spec.processes - 1 do
     let avg =
@@ -146,11 +180,12 @@ let instance spec =
     done
   done;
   Wcet.validate wcet;
-  let arch =
-    Arch.make ~node_count:spec.nodes
-      ~bus:(Bus.tdma ~slot_length:spec.tdma_slot ~bandwidth:1. spec.nodes)
-      ()
+  let bus =
+    match spec.bus with
+    | Tdma -> Bus.tdma ~slot_length:spec.tdma_slot ~bandwidth:1. spec.nodes
+    | Single -> Bus.single ~bandwidth:1. ()
   in
+  let arch = Arch.make ~node_count:spec.nodes ~bus () in
   let horizon = 1e9 in
   let app =
     App.make

@@ -12,6 +12,11 @@
     All randomness is seeded — identical specs produce identical
     instances. *)
 
+type bus_kind =
+  | Tdma  (** TTP-like time-division bus ({!Ftes_arch.Bus.tdma}), slot
+              length [tdma_slot], bandwidth 1 — the paper's protocol. *)
+  | Single  (** Contention bus ({!Ftes_arch.Bus.single}), bandwidth 1. *)
+
 type spec = {
   seed : int;
   processes : int;
@@ -33,11 +38,31 @@ type spec = {
   frozen_proc_prob : float;
   frozen_msg_prob : float;
   tdma_slot : float;  (** TDMA slot length (bandwidth is 1). *)
+  bus : bus_kind;  (** Broadcast-channel model (default {!Tdma}). *)
+  wcet_jitter : float;  (** WCET heterogeneity across nodes, in [0, 1].
+                            [1.] (the default) draws every (process,
+                            node) WCET independently — the legacy
+                            behavior, byte-stable per seed. Values
+                            below 1 draw one base WCET per process and
+                            let each node deviate by at most ±jitter
+                            around it (clamped to the bounds):
+                            near-homogeneous platforms at ≈ 0. *)
+  burstiness : float;  (** DAG burstiness, in [0, 1]. [0.] (the
+                           default) spreads processes uniformly over
+                           the layers — the legacy behavior. Higher
+                           values concentrate processes in one hot
+                           layer, producing wide fan-out/fan-in bursts
+                           instead of uniform layer populations. *)
 }
 
 val default : spec
 (** 20 processes, 3 nodes, paper-like ranges (WCET 10–100, messages
-    sized to a few slot fractions), no transparency. *)
+    sized to a few slot fractions), no transparency, TDMA bus, legacy
+    uniform shape ([wcet_jitter = 1.], [burstiness = 0.]).
+
+    Specs that keep the default [bus], [wcet_jitter] and [burstiness]
+    generate byte-identical instances to releases that predate those
+    fields — pinned by test. *)
 
 val instance : spec -> Ftes_app.App.t * Ftes_arch.Arch.t * Ftes_arch.Wcet.t
 (** Generate one application + platform + WCET table. The deadline is

@@ -72,6 +72,23 @@ let utility_props =
             let x = U.value_at u t1 in
             x >= 0. && x <= U.max_value u +. 1e-9)
           (shapes v a b));
+    (* Monotonicity under added slack: relaxing every breakpoint by a
+       non-negative amount (the process is given more time before its
+       utility decays) never decreases the utility at any completion
+       time. *)
+    Helpers.qtest "utilities are monotone in added slack" arb
+      (fun (v, a, b, t, slack) ->
+        let relaxed =
+          [
+            U.constant ~value:v ~until:(a +. slack);
+            U.step ~value:v ~until:(a +. slack) ~late_value:(v /. 2.)
+              ~cutoff:(a +. b +. slack);
+            U.linear ~value:v ~from_:(a +. slack) ~zero_at:(a +. b +. slack);
+          ]
+        in
+        List.for_all2
+          (fun tight loose -> U.value_at loose t >= U.value_at tight t -. 1e-9)
+          (shapes v a b) relaxed);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -275,6 +292,59 @@ let soft_props =
           r.SS.soft_placements);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Soft corpus digest pins                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The checked-in corpus manifest pins the full rendered result
+   (placements + utilities) of every soft-goal instance; re-evaluating
+   a couple here catches soft-scheduler drift inside the tier-1 suite,
+   without waiting for the corpus gate in CI. *)
+let soft_corpus_pins () =
+  let module Registry = Ftes_corpus.Registry in
+  let module Manifest = Ftes_corpus.Manifest in
+  let module Runner = Ftes_corpus.Runner in
+  let module CI = Ftes_corpus.Instance in
+  let manifest_path =
+    if Sys.file_exists "../corpus/manifest.json" then
+      "../corpus/manifest.json"
+    else "corpus/manifest.json"
+  in
+  let manifest =
+    match Manifest.load manifest_path with
+    | Ok m -> m
+    | Error msg -> Alcotest.failf "cannot load %s: %s" manifest_path msg
+  in
+  let soft_instances =
+    List.filter
+      (fun i -> CI.axis i "class" = Some "soft")
+      (Registry.all ())
+  in
+  Alcotest.(check bool) "at least two soft instances" true
+    (List.length soft_instances >= 2);
+  (* A deterministic pair: the first of each of two shapes. *)
+  let picks =
+    [ List.nth soft_instances 0; List.nth soft_instances 4 ]
+  in
+  List.iter
+    (fun inst ->
+      let o = Runner.evaluate inst in
+      Alcotest.(check bool) (inst.CI.id ^ " ok") true o.Runner.ok;
+      Alcotest.(check string) (inst.CI.id ^ " verdict") "soft"
+        o.Runner.verdict;
+      match Manifest.find manifest inst.CI.id with
+      | None -> Alcotest.failf "%s not pinned in the manifest" inst.CI.id
+      | Some e ->
+          Alcotest.(check string)
+            (inst.CI.id ^ " digest")
+            e.Ftes_corpus.Manifest.digest o.Runner.digest;
+          Alcotest.(check bool)
+            (inst.CI.id ^ " length")
+            true
+            (Float.abs (e.Ftes_corpus.Manifest.length -. o.Runner.length)
+            < 1e-6))
+    picks
+
 let () =
   Alcotest.run "soft"
     [
@@ -301,4 +371,6 @@ let () =
             test_no_resource_overlap;
         ]
         @ soft_props );
+      ( "corpus pins",
+        [ Alcotest.test_case "soft digest pins" `Quick soft_corpus_pins ] );
     ]

@@ -3,6 +3,8 @@
 module Gen = Ftes_workload.Gen
 module Graph = Ftes_app.Graph
 module App = Ftes_app.App
+module Arch = Ftes_arch.Arch
+module Bus = Ftes_arch.Bus
 module Wcet = Ftes_arch.Wcet
 module Transparency = Ftes_app.Transparency
 
@@ -10,6 +12,52 @@ module Transparency = Ftes_app.Transparency
    transparency and WCET tables at once. *)
 let render (app, arch, wcet) =
   Ftes_dsl.Dsl.to_string { Ftes_dsl.Dsl.app; arch; wcet; k = 1 }
+
+let render_digest spec =
+  Digest.to_hex (Digest.string (render (Gen.instance spec)))
+
+(* Byte-stability pins: specs that keep the default bus, wcet_jitter and
+   burstiness must generate instances byte-identical to releases that
+   predate those fields. To regenerate after an INTENTIONAL generator
+   change: FTES_PRINT_DIGESTS=1 dune exec test/test_workload.exe *)
+let pinned_specs =
+  [
+    ("default", Gen.default);
+    ("mid", { Gen.default with processes = 25; nodes = 4; seed = 123 });
+    ( "frozen",
+      {
+        Gen.default with
+        processes = 40;
+        nodes = 2;
+        seed = 7;
+        frozen_proc_prob = 0.125;
+        frozen_msg_prob = 0.25;
+      } );
+  ]
+
+let pinned_digests =
+  [
+    ("default", "5ba814bd5f1b6aba745cd8d098de0d77");
+    ("mid", "afbf8bd8e5c18af0f682448ad29619f3");
+    ("frozen", "6cec0922153fb1e874dd5644d202daa7");
+  ]
+
+let () =
+  if Sys.getenv_opt "FTES_PRINT_DIGESTS" <> None then begin
+    List.iter
+      (fun (name, spec) ->
+        Printf.printf "    (%S, %S);\n%!" name (render_digest spec))
+      pinned_specs;
+    exit 0
+  end
+
+let test_byte_stability () =
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check string) name
+        (List.assoc name pinned_digests)
+        (render_digest spec))
+    pinned_specs
 
 let test_determinism () =
   let spec = { Gen.default with processes = 25; nodes = 4; seed = 123 } in
@@ -55,7 +103,74 @@ let test_errors () =
   Alcotest.check_raises "no processes" (Invalid_argument "Gen.instance: no processes")
     (fun () -> ignore (Gen.instance { Gen.default with processes = 0 }));
   Alcotest.check_raises "no nodes" (Invalid_argument "Gen.instance: no nodes")
-    (fun () -> ignore (Gen.instance { Gen.default with nodes = 0 }))
+    (fun () -> ignore (Gen.instance { Gen.default with nodes = 0 }));
+  Alcotest.check_raises "burstiness range"
+    (Invalid_argument "Gen.instance: burstiness outside [0, 1]") (fun () ->
+      ignore (Gen.instance { Gen.default with burstiness = 1.5 }));
+  Alcotest.check_raises "wcet_jitter range"
+    (Invalid_argument "Gen.instance: wcet_jitter outside [0, 1]") (fun () ->
+      ignore (Gen.instance { Gen.default with wcet_jitter = -0.1 }))
+
+(* ------------------------------------------------------------------ *)
+(* New axes: burstiness, WCET heterogeneity, bus model                 *)
+(* ------------------------------------------------------------------ *)
+
+let axes_spec =
+  {
+    Gen.default with
+    processes = 24;
+    nodes = 4;
+    seed = 42;
+    burstiness = 0.7;
+    wcet_jitter = 0.2;
+    bus = Gen.Single;
+    layers = 3;
+  }
+
+let test_axes_determinism () =
+  Alcotest.(check string) "identical instances"
+    (render (Gen.instance axes_spec))
+    (render (Gen.instance axes_spec))
+
+let test_axes_change_instance () =
+  let base = render (Gen.instance { Gen.default with processes = 24; seed = 42 }) in
+  let tweaked f = render (Gen.instance (f { Gen.default with processes = 24; seed = 42 })) in
+  Alcotest.(check bool) "burstiness matters" true
+    (base <> tweaked (fun s -> { s with Gen.burstiness = 0.9; layers = 3 }));
+  Alcotest.(check bool) "wcet_jitter matters" true
+    (base <> tweaked (fun s -> { s with Gen.wcet_jitter = 0.1 }));
+  Alcotest.(check bool) "bus matters" true
+    (base <> tweaked (fun s -> { s with Gen.bus = Gen.Single }))
+
+let test_bus_kind_respected () =
+  let _, arch, _ = Gen.instance { Gen.default with seed = 9 } in
+  Alcotest.(check bool) "tdma by default" true (Bus.is_tdma (Arch.bus arch));
+  let _, arch, _ =
+    Gen.instance { Gen.default with seed = 9; bus = Gen.Single }
+  in
+  Alcotest.(check bool) "single on request" false (Bus.is_tdma (Arch.bus arch))
+
+let test_zero_jitter_homogeneous () =
+  (* jitter 0: every node runs a process at the same (clamped) base
+     WCET, so the allowed-node WCETs of each process are all equal. *)
+  let spec =
+    { Gen.default with processes = 30; nodes = 5; seed = 4; wcet_jitter = 0. }
+  in
+  let _, _, wcet = Gen.instance spec in
+  for pid = 0 to 29 do
+    match
+      List.filter_map
+        (fun nid -> Wcet.get wcet ~pid ~nid)
+        (List.init 5 Fun.id)
+    with
+    | [] -> Alcotest.failf "process %d has no allowed node" pid
+    | c :: rest ->
+        List.iter
+          (fun c' ->
+            if Float.abs (c -. c') > 1e-9 then
+              Alcotest.failf "process %d heterogeneous at jitter 0" pid)
+          rest
+  done
 
 let workload_props =
   let arb =
@@ -115,6 +230,70 @@ let workload_props =
              p.Ftes_ftcpg.Problem.policies);
   ]
 
+(* Well-formedness across the new generator axes: any combination of
+   burstiness, WCET jitter and bus model still yields an acyclic DAG
+   within the spec's WCET bounds, with every process mappable and the
+   requested bus model on the platform. *)
+let axes_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, nodes, (burst, jitter, tdma)) ->
+        Printf.sprintf "seed=%d n=%d nodes=%d burst=%g jitter=%g tdma=%b"
+          seed n nodes burst jitter tdma)
+      QCheck.Gen.(
+        quad (int_bound 10_000) (int_range 1 60) (int_range 1 6)
+          (triple (float_bound_inclusive 1.) (float_bound_inclusive 1.) bool))
+  in
+  let spec_of (seed, n, nodes, (burst, jitter, tdma)) =
+    {
+      Gen.default with
+      processes = n;
+      nodes;
+      seed;
+      burstiness = burst;
+      wcet_jitter = jitter;
+      bus = (if tdma then Gen.Tdma else Gen.Single);
+    }
+  in
+  [
+    Helpers.qtest ~count:150 "axes: instances stay well-formed" arb
+      (fun input ->
+        let spec = spec_of input in
+        let app, arch, wcet = Gen.instance spec in
+        let g = app.App.graph in
+        let n = spec.Gen.processes in
+        (* Acyclic: messages only flow towards later topological layers;
+           the builder would reject a cycle, so reaching here with the
+           right counts plus sane in-edges is the well-formedness we can
+           observe from outside. *)
+        Graph.process_count g = n
+        && Arch.node_count arch = spec.Gen.nodes
+        && Bus.is_tdma (Arch.bus arch) = (spec.Gen.bus = Gen.Tdma)
+        && List.for_all
+             (fun pid ->
+               List.mem pid (Graph.sources g) || Graph.in_messages g pid <> [])
+             (List.init n Fun.id)
+        && List.for_all
+             (fun pid -> Wcet.allowed_nodes wcet ~pid <> [])
+             (List.init n Fun.id)
+        && (let ok = ref true in
+            for pid = 0 to n - 1 do
+              for nid = 0 to spec.Gen.nodes - 1 do
+                match Wcet.get wcet ~pid ~nid with
+                | Some c ->
+                    if
+                      c < spec.Gen.wcet_min -. 1e-9
+                      || c > spec.Gen.wcet_max +. 1e-9
+                    then ok := false
+                | None -> ()
+              done
+            done;
+            !ok));
+    Helpers.qtest ~count:80 "axes: determinism per seed" arb (fun input ->
+        let spec = spec_of input in
+        render (Gen.instance spec) = render (Gen.instance spec));
+  ]
+
 let () =
   Alcotest.run "workload"
     [
@@ -128,6 +307,17 @@ let () =
           Alcotest.test_case "frozen probabilities" `Quick
             test_frozen_probabilities;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "byte stability pins" `Quick test_byte_stability;
         ]
         @ workload_props );
+      ( "axes",
+        [
+          Alcotest.test_case "determinism" `Quick test_axes_determinism;
+          Alcotest.test_case "axes change the instance" `Quick
+            test_axes_change_instance;
+          Alcotest.test_case "bus kind respected" `Quick test_bus_kind_respected;
+          Alcotest.test_case "zero jitter is homogeneous" `Quick
+            test_zero_jitter_homogeneous;
+        ]
+        @ axes_props );
     ]
