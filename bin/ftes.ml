@@ -276,14 +276,18 @@ let simulate path faults trace jobs =
   let table =
     Ftes_sched.Conditional.schedule ?jobs ftcpg
   in
-  let scenarios = Ftes_ftcpg.Ftcpg.scenarios ftcpg in
-  let selected =
-    List.filter
-      (fun s -> Ftes_ftcpg.Cond.fault_count s = faults)
-      scenarios
-  in
+  (* Count and filter over the packed scenario arena; only the selected
+     scenarios are unpacked to guards for replay. *)
+  let space = Ftes_ftcpg.Ftcpg.scenario_space ftcpg in
+  let total = Ftes_ftcpg.Condvec.count space in
+  let selected = ref [] in
+  for i = total - 1 downto 0 do
+    if Ftes_ftcpg.Condvec.fault_count space i = faults then
+      selected := Ftes_ftcpg.Condvec.guard_at space i :: !selected
+  done;
+  let selected = !selected in
   Format.printf "%d scenarios total, %d with exactly %d fault(s)@."
-    (List.length scenarios) (List.length selected) faults;
+    total (List.length selected) faults;
   (* Replay the scenarios on the domain pool; the ordered merge keeps
      the report order identical to the sequential run. *)
   let outcomes =

@@ -40,7 +40,7 @@ let () =
       Format.printf
         "fault injection: all %d scenarios execute correctly (worst-case \
          length %g, fault-free %g)@."
-        (List.length (Ftes_ftcpg.Ftcpg.scenarios ftcpg))
+        (Ftes_ftcpg.Ftcpg.scenario_count ftcpg)
         (Ftes_sched.Table.schedule_length table)
         (Ftes_sched.Table.no_fault_length table)
   | vs ->

@@ -78,7 +78,9 @@ val schedulable : t -> bool
 val validate : ?jobs:int -> ?stop_after:int -> t -> Ftes_sim.Violation.t list
 (** Fault-injection validation of the schedule tables (empty when no
     tables were produced — the estimate alone cannot be simulated).
-    [jobs] and [stop_after] are forwarded to {!Ftes_sim.Sim.validate}. *)
+    [jobs] and [stop_after] are forwarded to {!Ftes_sim.Sim.validate},
+    i.e. the packed sharded validator; the result is [jobs]-invariant
+    and, with [stop_after], a minimal prefix of the exhaustive list. *)
 
 val validate_messages : ?jobs:int -> t -> string list
 (** {!validate} rendered with {!Ftes_sim.Violation.to_string} — the

@@ -136,27 +136,23 @@ let evaluate inst =
   if not ok then Telemetry.incr c_failures;
   { instance = inst; length; digest; verdict; ok; detail; wall_ms }
 
+(* Instances run in pool-sized batches: within a batch workers pull
+   instances dynamically (their costs vary by orders of magnitude), and
+   the [on_outcome] progress callback fires between batches. *)
 let run ?jobs ?on_outcome instances =
-  let total = List.length instances in
+  let arr = Array.of_list instances in
+  let total = Array.length arr in
   let batch_size =
     max 4 (2 * Option.value jobs ~default:(Par.default_jobs ()))
   in
-  let rec batches = function
-    | [] -> []
-    | xs ->
-        let rec take n = function
-          | x :: rest when n > 0 ->
-              let got, rem = take (n - 1) rest in
-              (x :: got, rem)
-          | rest -> ([], rest)
-        in
-        let batch, rest = take batch_size xs in
-        batch :: batches rest
-  in
   let done_count = ref 0 in
-  List.concat_map
-    (fun batch ->
-      let outcomes = Par.map ?jobs evaluate batch in
+  let rec go pos acc =
+    if pos >= total then List.concat (List.rev acc)
+    else begin
+      let len = min batch_size (total - pos) in
+      let outcomes =
+        Array.to_list (Par.map_array ?jobs evaluate (Array.sub arr pos len))
+      in
       List.iter
         (fun o ->
           incr done_count;
@@ -164,8 +160,10 @@ let run ?jobs ?on_outcome instances =
           | Some f -> f ~done_count:!done_count ~total o
           | None -> ())
         outcomes;
-      outcomes)
-    (batches instances)
+      go (pos + len) (outcomes :: acc)
+    end
+  in
+  go 0 []
 
 type failure = { id : string; reason : string }
 

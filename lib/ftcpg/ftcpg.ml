@@ -299,25 +299,51 @@ let msg_vertices t ~mid =
 
 let cond_name t vid = "F" ^ (vertex t vid).name
 
-let scenarios t =
-  let conds =
-    List.map (fun vid -> t.vertices.(vid)) (conditional_vertices t)
+(* Scenario enumeration works directly on packed condition vectors: the
+   DFS below mirrors the historical list-of-guards recursion (fault
+   branch expanded before the no-fault branch, so the packed rows and
+   the unpacked list come out in the exact same order), but each
+   scenario is 31 conditions per int word in one flat arena instead of
+   a freshly allocated literal list. Exhaustive validation iterates the
+   arena in place; the legacy {!scenarios} list is a thin unpacking
+   view over it. *)
+let scenario_space t =
+  let cond_vids = Array.of_list (conditional_vertices t) in
+  let u = Condvec.universe cond_vids in
+  let guards =
+    Array.map (fun vid -> Condvec.pack_guard u t.vertices.(vid).guard)
+      cond_vids
   in
   let k = t.problem.Problem.k in
-  let rec go g = function
-    | [] -> [ g ]
-    | v :: rest ->
-        if Cond.implies g v.guard then
-          (* Guards of frozen chains hide upstream faults, so the global
-             budget k is enforced here rather than structurally. *)
-          let gf = Cond.add_exn g { Cond.cond = v.vid; fault = false } in
-          if Cond.fault_count g < k then
-            let gt = Cond.add_exn g { Cond.cond = v.vid; fault = true } in
-            go gt rest @ go gf rest
-          else go gf rest
-        else go g rest
+  let s = Condvec.store u in
+  let row = Condvec.create_row u in
+  let n = Array.length cond_vids in
+  let rec go i faults =
+    if i >= n then Condvec.append s row
+    else if Condvec.row_implies row guards.(i) then begin
+      (* Guards of frozen chains hide upstream faults, so the global
+         budget k is enforced here rather than structurally. *)
+      if faults < k then begin
+        Condvec.set u row i true;
+        go (i + 1) (faults + 1)
+      end;
+      Condvec.set u row i false;
+      go (i + 1) faults;
+      Condvec.unset u row i
+    end
+    else go (i + 1) faults
   in
-  go Cond.true_ conds
+  go 0 0;
+  Condvec.freeze s
+
+let scenario_count t = Condvec.count (scenario_space t)
+
+let scenarios t =
+  let sp = scenario_space t in
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (Condvec.guard_at sp i :: acc)
+  in
+  build (Condvec.count sp - 1) []
 
 let scenario_fault_count = Cond.fault_count
 

@@ -53,19 +53,31 @@ val validate :
 (** Run every fault scenario (exhaustive — exponential in [k]) plus the
     cross-scenario transparency check; returns all violations.
 
-    Scenarios are partitioned across [jobs] domains
-    ([Ftes_util.Par.default_jobs ()] when omitted; [1] is the exact
-    sequential code path) and the per-scenario violations are merged in
-    scenario order, so the result is byte-identical for every [jobs]
-    value.
+    Scenarios are replayed from the packed arena
+    ({!Ftes_ftcpg.Ftcpg.scenario_space}) against a pre-compiled form of
+    the table, sharded into coarse contiguous ranges across [jobs]
+    domains ([Ftes_util.Par.default_jobs ()] when omitted; [1] is the
+    exact sequential code path) with per-range scratch state. The
+    per-range violations are merged in scenario order, so the result is
+    byte-identical for every [jobs] value — and byte-identical to the
+    retained explicit path, {!validate_reference}.
 
     [stop_after] enables early exit for callers that only need to know
     a table is bad (e.g. optimization loops): replay proceeds in
-    fixed-size scenario batches and stops at the end of the first batch
-    that reaches [stop_after] violations. The result is then a
-    non-empty prefix of the exhaustive violation list (the transparency
-    check is skipped once the table is known-bad), and is still
-    independent of [jobs]. *)
+    pool-sized scenario batches and the result is trimmed to the exact
+    minimal scenario prefix whose cumulative violation count reaches
+    [stop_after]. The result is then a non-empty prefix of the
+    exhaustive violation list (the transparency check is skipped once
+    the table is known-bad), independent of [jobs] and of the batch
+    size. *)
+
+val validate_reference : ?jobs:int -> Ftes_sched.Table.t -> Violation.t list
+(** The pre-compilation explicit validator: one {!run} per scenario of
+    the materialized {!Ftes_ftcpg.Ftcpg.scenarios} list, plus the
+    transparency check. Kept as the cross-check oracle for the packed
+    path — equivalence tests and the bench digest-identity assertion
+    pin [validate_reference t = validate t]. Slower by design; does not
+    touch the [sim.scenarios] telemetry counters. *)
 
 val validate_sampled :
   ?jobs:int ->

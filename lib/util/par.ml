@@ -242,3 +242,18 @@ let concat_map ?jobs f xs =
 let init ?jobs n f =
   if effective_jobs ?jobs n <= 1 then List.init n f
   else Array.to_list (map_array ?jobs f (Array.init n Fun.id))
+
+(* Contiguous balanced ranges: chunk p of [pieces] over [n] items is
+   [p*n/pieces, (p+1)*n/pieces) — sizes differ by at most one and the
+   concatenation covers [0, n) in order. *)
+let range_bounds ~pieces n =
+  Array.init pieces (fun p -> (p * n / pieces, (p + 1) * n / pieces))
+
+let map_ranges ?jobs ?(chunks_per_job = 4) n f =
+  if n <= 0 then []
+  else
+    let jobs = effective_jobs ?jobs n in
+    if jobs <= 1 then [ f 0 n ]
+    else
+      let pieces = min n (jobs * chunks_per_job) in
+      Array.to_list (map_array ~jobs (fun (lo, hi) -> f lo hi) (range_bounds ~pieces n))

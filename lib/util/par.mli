@@ -51,6 +51,20 @@ val init : ?jobs:int -> int -> (int -> 'a) -> 'a list
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map}. *)
 
+val map_ranges :
+  ?jobs:int -> ?chunks_per_job:int -> int -> (int -> int -> 'a) -> 'a list
+(** [map_ranges ~jobs n f] splits the index space [0, n)] into coarse
+    contiguous ranges — about [chunks_per_job] (default 4) per domain,
+    balanced to within one item — and applies [f lo hi] to each range
+    on the pool. Results come back in range order, so
+    [List.concat (map_ranges n f)] over a range-local fold is
+    byte-identical to the sequential left-to-right fold regardless of
+    [jobs]. This is the batch-grained alternative to {!map} for hot
+    loops where a task per item is too fine: each range amortizes
+    per-task dispatch and lets the worker keep range-local scratch
+    state. [n <= 0] yields [[]]; [jobs <= 1] (or a nested call from a
+    worker) runs [f 0 n] sequentially. *)
+
 val in_worker : unit -> bool
 (** True when called from inside a [Par] worker domain (where nested
     [Par] calls run sequentially). Exposed for tests and diagnostics. *)

@@ -1,0 +1,357 @@
+(* Equivalence tests for the packed/compiled validation pipeline.
+
+   [Sim.validate] replays packed condition vectors from a flat scenario
+   arena against a pre-compiled table; [Sim.validate_reference] is the
+   retained explicit-list path. These tests pin the two byte-identical —
+   violation values, order and rendered messages — across clean,
+   corrupted and corpus instances, for jobs 1 and 4, plus the packed
+   [Condvec] primitives against their [Cond] list counterparts. *)
+
+module Sim = Ftes_sim.Sim
+module Violation = Ftes_sim.Violation
+module Table = Ftes_sched.Table
+module Conditional = Ftes_sched.Conditional
+module Ftcpg = Ftes_ftcpg.Ftcpg
+module Cond = Ftes_ftcpg.Cond
+module Condvec = Ftes_ftcpg.Condvec
+module Rng = Ftes_util.Rng
+
+let fig5_table () = Conditional.schedule (Ftcpg.build (Helpers.fig5_problem ()))
+
+let tight_fig5_table () =
+  let t = fig5_table () in
+  let p = Ftcpg.problem t.Table.ftcpg in
+  let deadline = 0.9 *. Table.no_fault_length t in
+  let tight =
+    Ftes_ftcpg.Problem.make
+      ~app:(Ftes_app.App.with_deadline p.Ftes_ftcpg.Problem.app deadline)
+      ~arch:p.Ftes_ftcpg.Problem.arch ~wcet:p.Ftes_ftcpg.Problem.wcet ~k:2
+      ~policies:p.Ftes_ftcpg.Problem.policies
+      ~mapping:p.Ftes_ftcpg.Problem.mapping
+  in
+  Conditional.schedule (Ftcpg.build tight)
+
+(* The core check: packed validation must reproduce the explicit oracle
+   bit for bit — structurally and through the string renderings — for a
+   sequential and a parallel pool size. *)
+let check_equivalent name t =
+  let reference = Sim.validate_reference ~jobs:1 t in
+  List.iter
+    (fun jobs ->
+      let packed = Sim.validate ~jobs t in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: messages (jobs=%d)" name jobs)
+        (List.map Violation.to_string reference)
+        (List.map Violation.to_string packed);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: structural equality (jobs=%d)" name jobs)
+        true (packed = reference))
+    [ 1; 4 ]
+
+let test_clean_table_equivalent () = check_equivalent "fig5" (fig5_table ())
+
+let test_tight_table_equivalent () =
+  let t = tight_fig5_table () in
+  Alcotest.(check bool) "tight table does violate" true (Sim.validate t <> []);
+  check_equivalent "tight-fig5" t
+
+let test_corrupted_tables_equivalent () =
+  let t = fig5_table () in
+  (* Causality: pull a dependent entry to time 0. *)
+  let victim =
+    List.find
+      (fun e ->
+        match e.Table.item with
+        | Table.Exec vid ->
+            (Ftcpg.vertex t.Table.ftcpg vid).Ftcpg.preds <> []
+            && e.Table.start > 50.
+        | Table.Bcast _ -> false)
+      t.Table.entries
+  in
+  let causality_bad =
+    Table.make ~ftcpg:t.Table.ftcpg
+      ~entries:
+        (List.map
+           (fun e ->
+             if e == victim then
+               {
+                 e with
+                 Table.start = 0.;
+                 finish = e.Table.finish -. e.Table.start;
+               }
+             else e)
+           t.Table.entries)
+      ~tracks:t.Table.tracks
+  in
+  check_equivalent "causality-corrupted" causality_bad;
+  (* Missing activation: drop every entry of one vertex. *)
+  let dropped_vid =
+    List.rev t.Table.entries
+    |> List.find_map (fun e ->
+           match e.Table.item with Table.Exec vid -> Some vid | _ -> None)
+    |> Option.get
+  in
+  let missing_bad =
+    Table.make ~ftcpg:t.Table.ftcpg
+      ~entries:
+        (List.filter
+           (fun e -> e.Table.item <> Table.Exec dropped_vid)
+           t.Table.entries)
+      ~tracks:t.Table.tracks
+  in
+  check_equivalent "missing-activation" missing_bad;
+  (* Ambiguous broadcast: duplicate a broadcast column at another time. *)
+  match
+    List.find_opt
+      (fun e ->
+        match e.Table.item with Table.Bcast _ -> true | Table.Exec _ -> false)
+      t.Table.entries
+  with
+  | None -> Alcotest.fail "fig5 table has no broadcast entry"
+  | Some b ->
+      let dup =
+        {
+          b with
+          Table.start = b.Table.start +. 5.;
+          finish = b.Table.finish +. 5.;
+        }
+      in
+      let bcast_bad =
+        Table.make ~ftcpg:t.Table.ftcpg ~entries:(dup :: t.Table.entries)
+          ~tracks:t.Table.tracks
+      in
+      check_equivalent "ambiguous-broadcast" bcast_bad
+
+let test_random_instances_equivalent () =
+  List.iter
+    (fun (seed, processes, nodes, k) ->
+      let p = Helpers.random_problem ~processes ~nodes ~k ~seed () in
+      let t = Conditional.schedule (Ftcpg.build p) in
+      check_equivalent
+        (Printf.sprintf "random seed=%d n=%d k=%d" seed processes k)
+        t)
+    [ (3, 6, 2, 2); (11, 8, 2, 3); (29, 7, 3, 2) ]
+
+(* Corpus smoke instances through the same equivalence harness: the
+   generated exhaustive ones pin the packed path on realistic tables. *)
+let test_corpus_smoke_equivalent () =
+  let module I = Ftes_corpus.Instance in
+  let instances =
+    Ftes_corpus.Registry.select ~tiers:[ I.Smoke ] ()
+    |> List.filter (fun i ->
+           match (i.I.check, i.I.source) with
+           | I.Exhaustive, I.Generated _ -> true
+           | _ -> false)
+  in
+  Alcotest.(check bool) "smoke tier has exhaustive instances" true
+    (instances <> []);
+  List.iteri
+    (fun n inst ->
+      if n < 5 then
+        let t = Conditional.schedule (Ftcpg.build (I.problem inst)) in
+        check_equivalent inst.I.id t)
+    instances
+
+(* --- stop_after / replay_until regression -------------------------- *)
+
+let test_stop_after_pool_aware_prefix () =
+  let t = tight_fig5_table () in
+  let full = Sim.validate t in
+  List.iter
+    (fun limit ->
+      let partial = Sim.validate ~jobs:1 ~stop_after:limit t in
+      Alcotest.(check bool)
+        (Printf.sprintf "stop_after=%d reaches the limit" limit)
+        true
+        (List.length partial >= min limit (List.length full));
+      Alcotest.(check bool)
+        (Printf.sprintf "stop_after=%d is a prefix" limit)
+        true
+        (List.length partial <= List.length full
+        && List.for_all2
+             (fun a b -> a = b)
+             partial
+             (List.filteri (fun i _ -> i < List.length partial) full));
+      (* Pool-aware batching must not leak into the result. *)
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "stop_after=%d jobs=%d invariant" limit jobs)
+            (List.map Violation.to_string partial)
+            (List.map Violation.to_string (Sim.validate ~jobs ~stop_after:limit t)))
+        [ 2; 4; 16 ])
+    [ 1; 2; 7 ]
+
+(* --- sampled validation over the packed arena ---------------------- *)
+
+(* The historical algorithm, reconstructed on the materialized scenario
+   list: always the no-fault scenarios, plus [Rng.sample] over the full
+   list, deduplicated, replayed in guard order. Index sampling over the
+   arena must reproduce it draw for draw. *)
+let legacy_sampled ~seed ~samples t =
+  let rng = Rng.create seed in
+  let scenarios = Ftcpg.scenarios t.Table.ftcpg in
+  let no_fault = List.filter (fun s -> Cond.fault_count s = 0) scenarios in
+  let sampled = Rng.sample rng samples scenarios in
+  let chosen = List.sort_uniq Cond.compare (no_fault @ sampled) in
+  List.concat_map (fun s -> (Sim.run t ~scenario:s).Sim.violations) chosen
+  @ Sim.frozen_start_violations t
+
+let test_sampled_matches_legacy () =
+  let t = tight_fig5_table () in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun samples ->
+          let expected = legacy_sampled ~seed ~samples t in
+          let got =
+            Sim.validate_sampled ~jobs:1 ~rng:(Rng.create seed) ~samples t
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "seed=%d samples=%d" seed samples)
+            (List.map Violation.to_string expected)
+            (List.map Violation.to_string got);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed=%d samples=%d structural" seed samples)
+            true (got = expected))
+        [ 0; 3; 7 ])
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- Condvec primitives -------------------------------------------- *)
+
+(* A universe wide enough to cross the 31-field word boundary. *)
+let wide_universe () = Condvec.universe (Array.init 40 (fun i -> (3 * i) + 1))
+
+let guard_of_indices u lits =
+  Option.get
+    (Cond.of_literals
+       (List.map
+          (fun (idx, fault) -> { Cond.cond = Condvec.cond_of_index u idx; fault })
+          lits))
+
+let test_condvec_roundtrip () =
+  let u = wide_universe () in
+  let row = Condvec.create_row u in
+  let lits = [ (0, true); (5, false); (30, true); (31, false); (39, true) ] in
+  List.iter (fun (idx, fault) -> Condvec.set u row idx fault) lits;
+  let g = Condvec.guard_of_row u row in
+  Alcotest.(check bool) "roundtrip" true
+    (Cond.equal g (guard_of_indices u lits));
+  Alcotest.(check int) "fault count" 3 (Condvec.row_fault_count row);
+  Condvec.unset u row 30;
+  Alcotest.(check int) "fault count after unset" 2
+    (Condvec.row_fault_count row);
+  Alcotest.(check bool) "unset literal gone" true
+    (Cond.equal
+       (Condvec.guard_of_row u row)
+       (guard_of_indices u [ (0, true); (5, false); (31, false); (39, true) ]))
+
+let test_condvec_implies_agrees () =
+  let u = wide_universe () in
+  let rng = Rng.create 42 in
+  for _ = 1 to 200 do
+    let row = Condvec.create_row u in
+    let row_lits =
+      List.init 12 (fun _ -> (Rng.int rng 40, Rng.bool rng))
+      |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter (fun (idx, fault) -> Condvec.set u row idx fault) row_lits;
+    let scenario = Condvec.guard_of_row u row in
+    let guard_lits =
+      List.init 4 (fun _ -> (Rng.int rng 40, Rng.bool rng))
+      |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+    in
+    let g = guard_of_indices u guard_lits in
+    let packed = Condvec.pack_guard u g in
+    Alcotest.(check bool) "row_implies = Cond.implies"
+      (Cond.implies scenario g)
+      (Condvec.row_implies row packed);
+    Alcotest.(check int) "row_fault_count = Cond.fault_count"
+      (Cond.fault_count scenario)
+      (Condvec.row_fault_count row)
+  done
+
+let test_condvec_out_of_universe_guard () =
+  let u = wide_universe () in
+  (* Condition id 2 is not in the universe (ids are 3i+1). *)
+  let g = Option.get (Cond.of_literals [ { Cond.cond = 2; fault = true } ]) in
+  let packed = Condvec.pack_guard u g in
+  let row = Condvec.create_row u in
+  Alcotest.(check bool) "empty row does not imply it" false
+    (Condvec.row_implies row packed);
+  for idx = 0 to 39 do
+    Condvec.set u row idx true
+  done;
+  Alcotest.(check bool) "full row does not imply it either" false
+    (Condvec.row_implies row packed);
+  Alcotest.(check bool) "guard_true always implied" true
+    (Condvec.row_implies row (Condvec.guard_true u))
+
+let test_scenario_space_matches_list () =
+  let f = Ftcpg.build (Helpers.fig5_problem ()) in
+  let sp = Ftcpg.scenario_space f in
+  let scenarios = Ftcpg.scenarios f in
+  Alcotest.(check int) "count" (List.length scenarios) (Condvec.count sp);
+  Alcotest.(check int) "scenario_count agrees" (Condvec.count sp)
+    (Ftcpg.scenario_count f);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "guard_at %d" i)
+        true
+        (Cond.equal s (Condvec.guard_at sp i));
+      Alcotest.(check int)
+        (Printf.sprintf "fault_count %d" i)
+        (Cond.fault_count s) (Condvec.fault_count sp i))
+    scenarios;
+  (* implies over the arena agrees with the list guards for every
+     vertex guard of the graph. *)
+  Array.iter
+    (fun (v : Ftcpg.vertex) ->
+      let packed = Condvec.pack_guard sp.Condvec.u v.Ftcpg.guard in
+      List.iteri
+        (fun i s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "implies vid=%d scenario=%d" v.Ftcpg.vid i)
+            (Cond.implies s v.Ftcpg.guard)
+            (Condvec.implies sp i packed))
+        scenarios)
+    (Ftcpg.vertices f)
+
+let () =
+  Alcotest.run "sim-packed"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "clean table" `Quick test_clean_table_equivalent;
+          Alcotest.test_case "tight table" `Quick test_tight_table_equivalent;
+          Alcotest.test_case "corrupted tables" `Quick
+            test_corrupted_tables_equivalent;
+          Alcotest.test_case "random instances" `Quick
+            test_random_instances_equivalent;
+          Alcotest.test_case "corpus smoke instances" `Slow
+            test_corpus_smoke_equivalent;
+        ] );
+      ( "stop-after",
+        [
+          Alcotest.test_case "pool-aware prefix stability" `Quick
+            test_stop_after_pool_aware_prefix;
+        ] );
+      ( "sampled",
+        [
+          Alcotest.test_case "index sampling = legacy sampling" `Quick
+            test_sampled_matches_legacy;
+        ] );
+      ( "condvec",
+        [
+          Alcotest.test_case "pack/unpack roundtrip" `Quick
+            test_condvec_roundtrip;
+          Alcotest.test_case "implies/fault_count agree with Cond" `Quick
+            test_condvec_implies_agrees;
+          Alcotest.test_case "out-of-universe guard never implied" `Quick
+            test_condvec_out_of_universe_guard;
+          Alcotest.test_case "scenario space = scenario list" `Quick
+            test_scenario_space_matches_list;
+        ] );
+    ];
+  Ftes_util.Par.shutdown ()
