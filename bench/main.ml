@@ -11,8 +11,12 @@
 
    Timing of every sweep (jobs, wall seconds, scenarios/s where
    applicable) plus one per-phase wall-clock record is written as a
-   JSON object {"schema_version": N, "records": [...]}, BENCH_PR7.json
-   by default. The "cache" section compares a tabu-driven strategy run
+   JSON object {"schema_version": N, "records": [...]}, BENCH_PR8.json
+   by default. The "symbolic" section cross-checks the symbolic
+   scenario-family validator against the explicit packed validator
+   (identical verdicts, wall clocks for both) and records the k >= 6
+   instances only the symbolic backend can cover within their corpus
+   budget tiers. The "cache" section compares a tabu-driven strategy run
    with and without the memoized design-evaluation cache (Evalcache)
    and records the hit rate; the "telemetry" section measures the
    overhead of span/counter recording on the same search; the "sched"
@@ -50,7 +54,7 @@ let jobs =
           Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
             s;
           exit 2)
-let json_path = flag_value "--json" "BENCH_PR7.json" Fun.id
+let json_path = flag_value "--json" "BENCH_PR8.json" Fun.id
 let trace_path = flag_value "--trace" None (fun s -> Some s)
 
 let selected =
@@ -59,6 +63,7 @@ let selected =
     |> List.filter (fun a ->
            a = "ablation" || a = "validation" || a = "cache"
            || a = "telemetry" || a = "sched" || a = "corpus"
+           || a = "symbolic"
            || (String.length a > 3 && String.sub a 0 3 = "fig"))
   in
   fun name -> wanted = [] || List.mem name wanted
@@ -70,7 +75,7 @@ let selected =
 (* Every record in the output file goes through this one typed field
    representation so the three record shapes (sweep timing, phase
    timing, comparison records) stay structurally consistent. *)
-let schema_version = 6
+let schema_version = 7
 
 type jfield =
   | JStr of string
@@ -559,6 +564,148 @@ let run_telemetry_bench () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic validation: cube replay vs the explicit enumeration        *)
+(* ------------------------------------------------------------------ *)
+
+let run_symbolic_bench () =
+  let module Reg = Ftes_corpus.Registry in
+  let module CI = Ftes_corpus.Instance in
+  let module Runner = Ftes_corpus.Runner in
+  section
+    "Symbolic validation - scenario-family cubes vs explicit enumeration\n\
+     (every cross-checked instance must produce the identical verdict\n\
+     through both backends; at k >= 6 the explicit arena exceeds any\n\
+     budget tier and the symbolic backend provides the only\n\
+     full-coverage verdict)";
+  let table_of_problem p =
+    let f = Ftes_ftcpg.Ftcpg.build p in
+    match Ftes_sched.Statictable.schedule f with
+    | t -> t
+    | exception Ftes_sched.Statictable.Not_transparent _ ->
+        Ftes_sched.Conditional.schedule f
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let symbolic_instances =
+    List.filter (fun i -> i.CI.check = CI.Symbolic) (Reg.all ())
+  in
+  (* Cross-checks: the symbolic corpus instances whose explicit arena is
+     feasible, plus a deliberately violating table so both verdicts are
+     exercised. *)
+  let cross_tables =
+    List.map
+      (fun inst -> (inst.CI.id, table_of_problem (CI.problem inst)))
+      (List.filter (fun i -> i.CI.k <= 3) symbolic_instances)
+    @
+    let p =
+      Ftes_workload.Gen.problem ~k:3
+        { Ftes_workload.Gen.default with processes = 9; nodes = 2; seed = 41 }
+    in
+    let t = Ftes_sched.Conditional.schedule (Ftes_ftcpg.Ftcpg.build p) in
+    (* Shrink the deadline below the worst-case track so validation has
+       genuine deadline violations to find through both backends. *)
+    let bad_deadline = 0.8 *. Ftes_sched.Table.no_fault_length t in
+    let pb = Ftes_ftcpg.Ftcpg.problem t.Ftes_sched.Table.ftcpg in
+    let tight =
+      Ftes_ftcpg.Problem.make
+        ~app:
+          (Ftes_app.App.with_deadline pb.Ftes_ftcpg.Problem.app bad_deadline)
+        ~arch:pb.Ftes_ftcpg.Problem.arch ~wcet:pb.Ftes_ftcpg.Problem.wcet ~k:3
+        ~policies:pb.Ftes_ftcpg.Problem.policies
+        ~mapping:pb.Ftes_ftcpg.Problem.mapping
+    in
+    [
+      ( "tight-9x2-k3",
+        Ftes_sched.Conditional.schedule (Ftes_ftcpg.Ftcpg.build tight) );
+    ]
+  in
+  List.iter
+    (fun (id, table) ->
+      let scenarios =
+        Ftes_ftcpg.Ftcpg.scenario_count table.Ftes_sched.Table.ftcpg
+      in
+      let explicit, wall_explicit =
+        time (fun () -> Ftes_sim.Sim.validate ~jobs:1 table)
+      in
+      let sym, wall_symbolic =
+        time (fun () -> Ftes_sim.Sim.validate ~jobs:1 ~mode:`Symbolic table)
+      in
+      let _, stats = Ftes_sim.Symbolic.check_stats ~jobs:1 table in
+      let identical = (explicit = []) = (sym = []) in
+      Printf.printf
+        "  %-28s %7d scenarios  explicit %8.4f s  symbolic %8.4f s  %4d \
+         cube(s)  verdicts identical: %b\n"
+        id scenarios wall_explicit wall_symbolic stats.Ftes_sim.Symbolic.cubes
+        identical;
+      record_json
+        [
+          ("name", JStr "symbolic-crosscheck");
+          ("id", JStr id);
+          ("scenarios", JInt scenarios);
+          ("violations_explicit", JInt (List.length explicit));
+          ("violations_symbolic", JInt (List.length sym));
+          ("wall_s_explicit", JFloat wall_explicit);
+          ("wall_s_symbolic", JFloat wall_symbolic);
+          ("cubes", JInt stats.Ftes_sim.Symbolic.cubes);
+          ("splits", JInt stats.Ftes_sim.Symbolic.splits);
+          ("identical", JBool identical);
+        ])
+    cross_tables;
+  (* The k >= 6 records: full-coverage symbolic verdicts inside the
+     instance's corpus budget tier, where the explicit arena would need
+     orders of magnitude more scenario replays than the budget allows. *)
+  List.iter
+    (fun inst ->
+      if inst.CI.k >= 6 then begin
+        let p = CI.problem inst in
+        let table = table_of_problem p in
+        let count =
+          match
+            Ftes_sim.Symbolic.frozen_scenario_count
+              table.Ftes_sched.Table.ftcpg
+          with
+          | Some c -> c
+          | None -> nan
+        in
+        let vs, wall =
+          time (fun () -> Ftes_sim.Sim.validate ~jobs:1 ~mode:`Symbolic table)
+        in
+        let _, stats = Ftes_sim.Symbolic.check_stats ~jobs:1 table in
+        let budget_s = Runner.tier_budget_ms inst.CI.tier /. 1000. in
+        let within_budget = wall <= budget_s in
+        (* The throughput the explicit backend would need to clear the
+           same scenario family inside the budget — compare with the
+           measured validate-exhaustive rates (thousands to millions of
+           scenarios/s on far smaller tables). *)
+        let rate_needed = count /. Float.max budget_s 1e-9 in
+        Printf.printf
+          "  %-28s %.3e scenarios  symbolic %8.4f s (budget %g s)  %4d \
+           cube(s)  clean: %b\n"
+          inst.CI.id count wall budget_s stats.Ftes_sim.Symbolic.cubes
+          (vs = []);
+        Printf.printf
+          "    explicit would need %.3e scenarios/s to meet the same budget\n"
+          rate_needed;
+        record_json
+          [
+            ("name", JStr "symbolic-large-k");
+            ("id", JStr inst.CI.id);
+            ("k", JInt inst.CI.k);
+            ("scenario_count", JFloat count);
+            ("wall_s_symbolic", JFloat wall);
+            ("budget_s", JFloat budget_s);
+            ("within_budget", JBool within_budget);
+            ("explicit_rate_needed_per_s", JRate rate_needed);
+            ("cubes", JInt stats.Ftes_sim.Symbolic.cubes);
+            ("clean", JBool (vs = []));
+          ]
+      end)
+    symbolic_instances
+
+(* ------------------------------------------------------------------ *)
 (* Corpus: the pinned regression corpus through the parallel runner    *)
 (* ------------------------------------------------------------------ *)
 
@@ -718,6 +865,7 @@ let () =
   if selected "sched" then timed_phase "sched-scaling" run_sched_bench;
   if selected "cache" then timed_phase "cache" run_cache_bench;
   if selected "telemetry" then timed_phase "telemetry" run_telemetry_bench;
+  if selected "symbolic" then timed_phase "symbolic" run_symbolic_bench;
   if selected "corpus" then timed_phase "corpus" run_corpus_bench;
   timed_phase "micro" run_micro;
   write_json ();

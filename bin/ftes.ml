@@ -96,7 +96,7 @@ let strategy_conv =
   Arg.conv (parse, print)
 
 let synthesize path strategy fto checkpointing no_tables matrix validate
-    explain json jobs no_cache stats trace metrics =
+    explain json symbolic jobs no_cache stats trace metrics =
   if trace <> None || metrics then Ftes_util.Telemetry.enable ();
   (* Emitted on every exit path, including validation failure. *)
   let finish_telemetry () =
@@ -168,8 +168,9 @@ let synthesize path strategy fto checkpointing no_tables matrix validate
   | true, None ->
       Format.printf "@.-- evaluation cache --@.  disabled (--no-cache)@."
   | false, _ -> ());
-  if validate || explain || json then begin
-    let violations = Ftes_core.Synthesis.validate ?jobs result in
+  if validate || explain || json || symbolic then begin
+    let mode = if symbolic then `Symbolic else `Explicit in
+    let violations = Ftes_core.Synthesis.validate ?jobs ~mode result in
     if json then
       Format.printf "@.%s@." (Ftes_sim.Violation.list_to_json violations);
     if violations = [] then
@@ -230,6 +231,17 @@ let synthesize_cmd =
            ~doc:"Dump the validation violations as a JSON array of \
                  structured records. Implies --validate.")
   in
+  let symbolic =
+    Arg.(value & flag & info [ "symbolic" ]
+           ~doc:"Validate with the symbolic scenario-family backend: \
+                 cubes of scenarios are replayed through the compiled \
+                 tables instead of the exhaustive enumeration, with one \
+                 explicitly confirmed witness per failing cube. Same \
+                 clean/not-clean verdict as --validate, but scales with \
+                 the tables' guard structure rather than with the \
+                 scenario count — use it for large k. Implies \
+                 --validate.")
+  in
   let jobs =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
            ~doc:"Domains for candidate evaluation, conditional \
@@ -262,8 +274,8 @@ let synthesize_cmd =
     (Cmd.info "synthesize"
        ~doc:"Synthesize a fault-tolerant configuration and its tables.")
     Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
-          $ matrix $ validate $ explain $ json $ jobs $ no_cache $ stats
-          $ trace $ metrics)
+          $ matrix $ validate $ explain $ json $ symbolic $ jobs $ no_cache
+          $ stats $ trace $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

@@ -103,9 +103,9 @@ let schedulable t =
       t.estimate.Slack.length
       <= t.problem.Problem.app.App.deadline +. 1e-9
 
-let validate ?jobs ?stop_after t =
+let validate ?jobs ?stop_after ?mode t =
   match t.table with
-  | Some table -> Ftes_sim.Sim.validate ?jobs ?stop_after table
+  | Some table -> Ftes_sim.Sim.validate ?jobs ?stop_after ?mode table
   | None -> []
 
 let validate_messages ?jobs t =

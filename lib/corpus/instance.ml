@@ -10,6 +10,7 @@ type tier = Smoke | Standard | Heavy
 type check =
   | Exhaustive
   | Sampled of int
+  | Symbolic
   | Estimate
   | Soft of { soft_prob : float }
 
@@ -49,6 +50,7 @@ let tier_of_string = function
 let check_kind = function
   | Exhaustive -> "table-exhaustive"
   | Sampled _ -> "table-sampled"
+  | Symbolic -> "table-symbolic"
   | Estimate -> "estimate"
   | Soft _ -> "soft"
 

@@ -25,6 +25,12 @@ type check =
   | Sampled of int
       (** Tables as above; validation on that many sampled scenarios
           (deterministic seed derived from the instance id). *)
+  | Symbolic
+      (** Tables (static when the application is fully transparent,
+          conditional otherwise), validated with the symbolic
+          scenario-family backend ({!Ftes_sim.Symbolic}) — full
+          scenario coverage at fault hypotheses whose explicit arena
+          is out of reach. *)
   | Estimate
       (** Schedule-length estimator only (instances whose FT-CPG is out
           of reach); digest of the rendered estimator result. *)
@@ -59,8 +65,8 @@ val problem : t -> Ftes_ftcpg.Problem.t
 val tier_to_string : tier -> string
 val tier_of_string : string -> tier option
 val check_kind : check -> string
-(** ["table-exhaustive"] | ["table-sampled"] | ["estimate"] | ["soft"] —
-    the manifest's [kind] field. *)
+(** ["table-exhaustive"] | ["table-sampled"] | ["table-symbolic"] |
+    ["estimate"] | ["soft"] — the manifest's [kind] field. *)
 
 val axis : t -> string -> string option
 (** Value of one axis tag. *)

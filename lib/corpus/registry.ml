@@ -215,6 +215,52 @@ let soft_block () =
         [ 0.5; 0.7 ])
     shapes
 
+(* Block E: symbolic-validation instances — fully transparent (every
+   process and message frozen), compiled to static tables and validated
+   with the symbolic scenario-family backend. The small-k ones stay
+   cross-checkable against explicit validation (pinned by the test
+   suite and the bench); at k >= 6 the explicit arena is out of reach
+   and the symbolic backend provides the only full-coverage check. *)
+let symbolic_block () =
+  let idx = ref 0 in
+  List.concat_map
+    (fun bus ->
+      List.map
+        (fun (procs, k, tier) ->
+          let i = !idx in
+          incr idx;
+          let spec =
+            {
+              Gen.default with
+              processes = procs;
+              nodes = 2;
+              seed = 9000 + (23 * i);
+              bus;
+              frozen_proc_prob = 1.0;
+              frozen_msg_prob = 1.0;
+            }
+          in
+          let check = I.Symbolic in
+          {
+            I.id =
+              gen_id ~prefix:"sym" ~shape:I.Uniform ~spec ~k ~profile:Wuniform
+                ~extra:"";
+            source = I.Generated spec;
+            k;
+            check;
+            tier;
+            axes =
+              gen_axes ~shape:I.Uniform ~spec ~k ~profile:Wuniform ~check
+                ~class_:"hard";
+          })
+        [
+          (8, 2, I.Smoke);
+          (10, 3, I.Standard);
+          (40, 6, I.Standard);
+          (60, 7, I.Heavy);
+        ])
+    buses
+
 (* Block D: the paper's own examples, at several fault hypotheses. *)
 let example_block () =
   let ex ~name ~k ~check ~tier =
@@ -249,7 +295,8 @@ let example_block () =
   ]
 
 let all () =
-  example_block () @ table_block () @ soft_block () @ estimate_block ()
+  example_block () @ table_block () @ symbolic_block () @ soft_block ()
+  @ estimate_block ()
 
 let find id = List.find_opt (fun i -> i.I.id = id) (all ())
 

@@ -5,6 +5,7 @@ module I = Instance
 module Ftcpg = Ftes_ftcpg.Ftcpg
 module Problem = Ftes_ftcpg.Problem
 module Conditional = Ftes_sched.Conditional
+module Statictable = Ftes_sched.Statictable
 module Table = Ftes_sched.Table
 module Slack = Ftes_sched.Slack
 module Sim = Ftes_sim.Sim
@@ -16,12 +17,35 @@ module Telemetry = Ftes_util.Telemetry
 let c_instances = Telemetry.counter "corpus.instances"
 let c_failures = Telemetry.counter "corpus.failures"
 
+type error =
+  | No_tables
+  | Expansion_too_large of int
+  | Violations of { count : int; first : string }
+  | Invariant_broken of string
+  | Crash of string
+
+let error_to_string = function
+  | No_tables ->
+      "synthesis produced no schedule tables (conditional scheduling \
+       infeasible for this instance)"
+  | Expansion_too_large cap ->
+      Printf.sprintf "FT-CPG expansion exceeded %d vertices" cap
+  | Violations { count; first } ->
+      Printf.sprintf "%d violation(s), first: %s" count first
+  | Invariant_broken what -> what
+  | Crash msg -> msg
+
+(* Raised inside [evaluate_exn] where the legacy code called [failwith];
+   [evaluate] turns it into a typed failed outcome. *)
+exception Instance_error of error
+
 type outcome = {
   instance : I.t;
   length : float;
   digest : string;
   verdict : string;
   ok : bool;
+  error : error option;
   detail : string;
   wall_ms : float;
 }
@@ -33,55 +57,68 @@ let tier_budget_ms = function
 
 let digest_of_string s = Digest.to_hex (Digest.string s)
 
+(* Generated instances pin the deterministic default configuration
+   (re-execution policies, fastest mapping). Example instances run
+   the full synthesis flow — the paper's examples only meet their
+   deadlines after policy/mapping optimization, so their digests
+   additionally pin the optimizer's trajectory. *)
+let table_of inst p =
+  match inst.I.source with
+  | I.Generated _ -> Conditional.schedule (Ftcpg.build p)
+  | I.Example _ -> (
+      let s =
+        Ftes_core.Synthesis.synthesize ~app:p.Problem.app ~arch:p.Problem.arch
+          ~wcet:p.Problem.wcet ~k:p.Problem.k ()
+      in
+      match s.Ftes_core.Synthesis.table with
+      | Some t -> t
+      | None -> raise (Instance_error No_tables))
+
+let table_outcome table ~verdict ~validate =
+  let violations = validate table in
+  let digest = digest_of_string (Format.asprintf "%a" Table.pp table) in
+  let length = Table.schedule_length table in
+  let error =
+    match violations with
+    | [] -> None
+    | first :: _ ->
+        Some
+          (Violations
+             {
+               count = List.length violations;
+               first = Ftes_sim.Violation.to_string first;
+             })
+  in
+  (length, digest, verdict, error)
+
 (* Inside a Par worker nested parallel calls run sequentially anyway;
    jobs:1 makes the intent explicit — parallelism lives across
    instances, and per-instance results stay jobs-independent. *)
 let evaluate_exn inst =
   let p = I.problem inst in
   match inst.I.check with
-  | I.Exhaustive | I.Sampled _ ->
-      (* Generated instances pin the deterministic default configuration
-         (re-execution policies, fastest mapping). Example instances run
-         the full synthesis flow — the paper's examples only meet their
-         deadlines after policy/mapping optimization, so their digests
-         additionally pin the optimizer's trajectory. *)
+  | I.Exhaustive ->
+      table_outcome (table_of inst p) ~verdict:"clean-exhaustive"
+        ~validate:(fun table -> Sim.validate ~jobs:1 table)
+  | I.Sampled samples ->
+      table_outcome (table_of inst p) ~verdict:"clean-sampled"
+        ~validate:(fun table ->
+          Sim.validate_sampled ~jobs:1
+            ~rng:(Rng.create (I.stable_seed inst.I.id))
+            ~samples table)
+  | I.Symbolic ->
+      (* Fully transparent instances compile to a static table (no
+         scenario enumeration at all); anything else falls back to the
+         conditional scheduler. Either way, validation covers the whole
+         scenario family symbolically. *)
+      let ftcpg = Ftcpg.build p in
       let table =
-        match inst.I.source with
-        | I.Generated _ -> Conditional.schedule (Ftcpg.build p)
-        | I.Example _ -> (
-            let s =
-              Ftes_core.Synthesis.synthesize ~app:p.Problem.app
-                ~arch:p.Problem.arch ~wcet:p.Problem.wcet ~k:p.Problem.k ()
-            in
-            match s.Ftes_core.Synthesis.table with
-            | Some t -> t
-            | None ->
-                failwith "synthesis produced no schedule tables")
+        match Statictable.schedule ftcpg with
+        | t -> t
+        | exception Statictable.Not_transparent _ -> Conditional.schedule ftcpg
       in
-      let violations =
-        match inst.I.check with
-        | I.Exhaustive -> Sim.validate ~jobs:1 table
-        | I.Sampled samples ->
-            Sim.validate_sampled ~jobs:1
-              ~rng:(Rng.create (I.stable_seed inst.I.id))
-              ~samples table
-        | _ -> assert false
-      in
-      let digest = digest_of_string (Format.asprintf "%a" Table.pp table) in
-      let length = Table.schedule_length table in
-      let verdict =
-        match inst.I.check with
-        | I.Exhaustive -> "clean-exhaustive"
-        | _ -> "clean-sampled"
-      in
-      let ok = violations = [] in
-      let detail =
-        if ok then ""
-        else
-          Printf.sprintf "%d violation(s), first: %s" (List.length violations)
-            (Ftes_sim.Violation.to_string (List.hd violations))
-      in
-      (length, digest, verdict, ok, detail)
+      table_outcome table ~verdict:"clean-symbolic" ~validate:(fun table ->
+          Sim.validate ~jobs:1 ~mode:`Symbolic table)
   | I.Estimate ->
       let r = Slack.evaluate p in
       let digest =
@@ -91,8 +128,9 @@ let evaluate_exn inst =
       ( r.Slack.length,
         digest,
         "estimate-only",
-        ok,
-        if ok then "" else "estimator produced a degenerate length" )
+        if ok then None
+        else Some (Invariant_broken "estimator produced a degenerate length")
+      )
   | I.Soft { soft_prob } ->
       let g = Problem.graph p in
       let horizon = Slack.length ~ft:false p *. 1.5 in
@@ -117,24 +155,33 @@ let evaluate_exn inst =
       ( r.Softsched.hard.Slack.length,
         digest,
         "soft",
-        invariants_hold,
-        if invariants_hold then "" else "soft utility invariants violated" )
+        if invariants_hold then None
+        else Some (Invariant_broken "soft utility invariants violated") )
 
 let evaluate inst =
   let t0 = Unix.gettimeofday () in
-  let length, digest, verdict, ok, detail =
+  let length, digest, verdict, error =
     match evaluate_exn inst with
     | result -> result
+    | exception Instance_error e -> (0., "", "error", Some e)
     | exception Ftcpg.Too_large cap ->
-        (0., "", "error", false,
-         Printf.sprintf "FT-CPG expansion exceeded %d vertices" cap)
-    | exception exn ->
-        (0., "", "error", false, Printexc.to_string exn)
+        (0., "", "error", Some (Expansion_too_large cap))
+    | exception exn -> (0., "", "error", Some (Crash (Printexc.to_string exn)))
   in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let ok = error = None in
   Telemetry.incr c_instances;
   if not ok then Telemetry.incr c_failures;
-  { instance = inst; length; digest; verdict; ok; detail; wall_ms }
+  {
+    instance = inst;
+    length;
+    digest;
+    verdict;
+    ok;
+    error;
+    detail = (match error with None -> "" | Some e -> error_to_string e);
+    wall_ms;
+  }
 
 (* Instances run in pool-sized batches: within a batch workers pull
    instances dynamically (their costs vary by orders of magnitude), and

@@ -9,6 +9,22 @@
     stores budget {e tiers}, not measured times, keeping the checked-in
     file machine-independent. *)
 
+type error =
+  | No_tables
+      (** Synthesis completed but produced no conditional schedule
+          tables (expansion over budget or scheduling infeasible) —
+          there is nothing to digest or validate. *)
+  | Expansion_too_large of int
+      (** FT-CPG expansion exceeded the vertex budget. *)
+  | Violations of { count : int; first : string }
+      (** Fault-injection validation reported violations. *)
+  | Invariant_broken of string
+      (** A result-level invariant did not hold (degenerate estimator
+          length, soft-utility ordering). *)
+  | Crash of string  (** Any other exception, rendered. *)
+
+val error_to_string : error -> string
+
 type outcome = {
   instance : Instance.t;
   length : float;
@@ -16,7 +32,12 @@ type outcome = {
   verdict : string;
   ok : bool;  (** The instance executed cleanly (synthesized, validated
                   without violations, invariants held). *)
-  detail : string;  (** Failure description when [not ok]. *)
+  error : error option;
+      (** The typed failure when [not ok]; [None] iff [ok]. Instances
+          never panic the runner — every failure mode (including the
+          historical [failwith]/[assert false] paths) lands here and is
+          reported by {!verify} / [ftes corpus verify]. *)
+  detail : string;  (** [error_to_string error] when [not ok]. *)
   wall_ms : float;
 }
 

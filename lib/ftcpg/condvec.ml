@@ -16,7 +16,12 @@ let universe vids =
   let n = Array.length vids in
   for i = 1 to n - 1 do
     if vids.(i - 1) >= vids.(i) then
-      invalid_arg "Condvec.universe: ids not strictly ascending"
+      invalid_arg
+        (Printf.sprintf
+           "Condvec.universe: condition ids not strictly ascending \
+            (condition %d at index %d follows condition %d)"
+           vids.(i) i
+           vids.(i - 1))
   done;
   let max_vid = if n = 0 then -1 else vids.(n - 1) in
   let lookup = Array.make (max_vid + 1) (-1) in
@@ -42,6 +47,8 @@ let index_of_cond u cond =
 (* ------------------------------------------------------------------ *)
 
 type guard = { mask : int array; bits : int array }
+
+let guard_words (g : guard) = (g.mask, g.bits)
 
 let guard_true u = { mask = Array.make u.uwords 0; bits = Array.make u.uwords 0 }
 
@@ -140,7 +147,22 @@ let guard_of_words u data base =
   done;
   match Cond.of_literals !lits with
   | Some g -> g
-  | None -> assert false (* one literal per condition by construction *)
+  | None ->
+      (* A row holds at most one literal per condition field, so this
+         is only reachable if two universe indices map to the same
+         condition id — name the culprit instead of dying bare. *)
+      let rec dup = function
+        | (a : Cond.literal) :: (b : Cond.literal) :: _
+          when a.Cond.cond = b.Cond.cond ->
+            a.Cond.cond
+        | _ :: rest -> dup rest
+        | [] -> -1
+      in
+      invalid_arg
+        (Printf.sprintf
+           "Condvec.guard_of_words: condition %d carries more than one \
+            literal"
+           (dup !lits))
 
 let guard_of_row u (r : row) = guard_of_words u r 0
 
@@ -193,6 +215,11 @@ let of_guards u guards =
       append s row)
     guards;
   freeze s
+
+let singleton u (r : row) =
+  if Array.length r <> u.uwords then
+    invalid_arg "Condvec.singleton: row width does not match the universe";
+  { u; words = u.uwords; data = Array.copy r; count = 1 }
 
 let count sp = sp.count
 

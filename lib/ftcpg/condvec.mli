@@ -33,7 +33,13 @@ type universe
 
 val universe : int array -> universe
 (** [universe vids] builds a universe over condition ids [vids], which
-    must be strictly ascending. *)
+    must be strictly ascending; raises [Invalid_argument] naming the
+    offending condition id otherwise. *)
+
+val fields_per_word : int
+(** Packed fields per word (31; two bits per field inside a 63-bit
+    immediate int). Field index [idx] lives in word
+    [idx / fields_per_word] at shift [2 * (idx mod fields_per_word)]. *)
 
 val size : universe -> int
 (** Number of conditions in the universe. *)
@@ -61,6 +67,13 @@ val pack_guard : universe -> Cond.guard -> guard
 
 val guard_true : universe -> guard
 (** The empty conjunction — implied by every row. *)
+
+val guard_words : guard -> int array * int array
+(** The packed [(mask, bits)] word pairs of a guard. The arrays are the
+    guard's own storage — treat them as read-only. This is the raw
+    surface the symbolic cube backend ({!Ftes_sim.Symbolic}) works
+    over; everything else should go through {!row_implies} /
+    {!implies}. *)
 
 (** {1 Rows (single scenarios)} *)
 
@@ -106,6 +119,10 @@ val freeze : store -> space
 val of_guards : universe -> Cond.guard list -> space
 (** Pack a list of guards into a fresh arena (used for sampled
     validation subsets). Guards must be within the universe. *)
+
+val singleton : universe -> row -> space
+(** A one-scenario space holding a copy of [row] — the bridge from a
+    symbolically extracted witness back to the explicit replay path. *)
 
 val count : space -> int
 

@@ -307,17 +307,32 @@ let cond_name t vid = "F" ^ (vertex t vid).name
    a freshly allocated literal list. Exhaustive validation iterates the
    arena in place; the legacy {!scenarios} list is a thin unpacking
    view over it. *)
-let scenario_space t =
+type family = {
+  funiverse : Condvec.universe;
+  fguards : Condvec.guard array;
+  fbudget : int;
+}
+
+(* The symbolic description of the scenario set: existence guards per
+   condition field plus the fault budget — everything the explicit DFS
+   below consumes, without materializing the arena. Existence guards
+   only reference earlier conditions (vertex ids ascend along chains),
+   which is what lets both the DFS and the symbolic backend decide
+   presence from a prefix. *)
+let scenario_family t =
   let cond_vids = Array.of_list (conditional_vertices t) in
   let u = Condvec.universe cond_vids in
   let guards =
     Array.map (fun vid -> Condvec.pack_guard u t.vertices.(vid).guard)
       cond_vids
   in
-  let k = t.problem.Problem.k in
+  { funiverse = u; fguards = guards; fbudget = t.problem.Problem.k }
+
+let scenario_space t =
+  let { funiverse = u; fguards = guards; fbudget = k } = scenario_family t in
   let s = Condvec.store u in
   let row = Condvec.create_row u in
-  let n = Array.length cond_vids in
+  let n = Array.length guards in
   let rec go i faults =
     if i >= n then Condvec.append s row
     else if Condvec.row_implies row guards.(i) then begin

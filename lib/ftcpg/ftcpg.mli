@@ -86,6 +86,26 @@ val cond_name : t -> int -> string
 (** Name of the condition produced by a conditional vertex, e.g.
     "FP2^4". *)
 
+type family = {
+  funiverse : Condvec.universe;
+      (** Universe over the conditional vertices, ascending ids. *)
+  fguards : Condvec.guard array;
+      (** Existence guard of each condition, indexed by field index.
+          Guards only reference strictly earlier conditions, so a
+          condition's presence is decided by any assignment of the
+          fields before it. *)
+  fbudget : int;  (** The fault hypothesis [k]. *)
+}
+
+val scenario_family : t -> family
+(** The symbolic description of the complete-scenario set — exactly
+    what {!scenario_space} enumerates, without materializing the arena.
+    A complete scenario assigns fault/no-fault to precisely the
+    conditions whose existence guard it implies, with at most [fbudget]
+    faults in total. This is the input of the symbolic validation
+    backend ({!Ftes_sim.Symbolic}), whose whole point is that the arena
+    can be astronomically larger than this description. *)
+
 val scenario_space : t -> Condvec.space
 (** All complete fault scenarios, enumerated into a packed flat arena
     (see {!Condvec}). Row order is the historical {!scenarios} order:

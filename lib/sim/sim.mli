@@ -48,12 +48,34 @@ type outcome = {
 
 val run : Ftes_sched.Table.t -> scenario:Ftes_ftcpg.Cond.guard -> outcome
 
-val validate :
-  ?jobs:int -> ?stop_after:int -> Ftes_sched.Table.t -> Violation.t list
-(** Run every fault scenario (exhaustive — exponential in [k]) plus the
-    cross-scenario transparency check; returns all violations.
+type mode = [ `Explicit | `Symbolic | `Auto ]
+(** Validation backend.
 
-    Scenarios are replayed from the packed arena
+    - [`Explicit] (the default): replay every scenario of the packed
+      arena — the byte-identical legacy behavior.
+    - [`Symbolic]: replay cubes of scenarios through the same compiled
+      table ({!Symbolic}); the verdict (clean / not clean) is always
+      identical to explicit mode, every reported violation is an
+      explicitly confirmed witness, but a failing table is reported
+      through one witness scenario per failing cube instead of the
+      full enumeration. Scales with the table's guard structure rather
+      than with [C(n, k)] — transparent tables validate in a handful
+      of cubes at any [k].
+    - [`Auto]: [`Symbolic] when the scenario count is provably known
+      in closed form ({!Symbolic.frozen_scenario_count}) and exceeds
+      65,536; [`Explicit] otherwise. *)
+
+val validate :
+  ?jobs:int ->
+  ?stop_after:int ->
+  ?mode:mode ->
+  Ftes_sched.Table.t ->
+  Violation.t list
+(** Run every fault scenario (exhaustive — exponential in [k] in
+    explicit mode) plus the cross-scenario transparency check; returns
+    all violations.
+
+    In explicit mode, scenarios are replayed from the packed arena
     ({!Ftes_ftcpg.Ftcpg.scenario_space}) against a pre-compiled form of
     the table, sharded into coarse contiguous ranges across [jobs]
     domains ([Ftes_util.Par.default_jobs ()] when omitted; [1] is the
@@ -69,7 +91,9 @@ val validate :
     [stop_after]. The result is then a non-empty prefix of the
     exhaustive violation list (the transparency check is skipped once
     the table is known-bad), independent of [jobs] and of the batch
-    size. *)
+    size. In symbolic mode, [stop_after] bounds refinement instead; the
+    result remains [jobs]-invariant but is not a prefix of the
+    explicit list (see {!mode}). *)
 
 val validate_reference : ?jobs:int -> Ftes_sched.Table.t -> Violation.t list
 (** The pre-compilation explicit validator: one {!run} per scenario of

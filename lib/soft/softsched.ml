@@ -32,6 +32,23 @@ type result = {
   utility_bound : float;
 }
 
+(* Utility of a soft process. A [Hard] class here means the caller (or
+   an internal ready-set bug) mixed up the soft/hard partition — the
+   descriptive error replaces a historical [assert false] on this
+   path. *)
+let soft_utility ~classes g pid =
+  if pid < 0 || pid >= Array.length classes then
+    invalid_arg
+      (Printf.sprintf "Softsched.soft_utility: pid %d out of range" pid);
+  match classes.(pid) with
+  | Soft u -> u
+  | Hard ->
+      invalid_arg
+        (Printf.sprintf
+           "Softsched.soft_utility: process %s (pid %d) is hard but was \
+            selected for soft placement"
+           (Graph.process g pid).Graph.pname pid)
+
 (* Build the Problem restricted to the hard processes. *)
 let hard_subproblem ~classes (problem : Problem.t) =
   let g = Problem.graph problem in
@@ -151,9 +168,7 @@ let schedule ~classes (problem : Problem.t) =
   let soft_placed : (int, placement) Hashtbl.t = Hashtbl.create 16 in
   let dropped : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let slack = hard_res.Slack.slack_term in
-  let utility_of pid =
-    match classes.(pid) with Soft u -> u | Hard -> assert false
-  in
+  let utility_of pid = soft_utility ~classes g pid in
   let density pid =
     Utility.max_value (utility_of pid)
     /. max 1. (Wcet.average_wcet problem.Problem.wcet ~pid)

@@ -51,4 +51,12 @@ val schedule :
     @raise Invalid_argument if a hard process depends on a soft one or
     the classes array has the wrong length. *)
 
+val soft_utility :
+  classes:class_ array -> Ftes_app.Graph.t -> int -> Utility.t
+(** The utility function of a soft process. Used internally by
+    {!schedule} for every soft placement decision.
+    @raise Invalid_argument (naming the process) when [pid] is out of
+    range or classed [Hard] — a hard process has no utility function,
+    and this case historically crashed with an assertion. *)
+
 val pp_result : Ftes_app.Graph.t -> Format.formatter -> result -> unit

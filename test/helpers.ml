@@ -60,6 +60,22 @@ let random_problem ?(frozen = true) ?(mixed_policies = true) ~processes ~nodes
     Problem.with_policies p policies mapping
   end
 
+(* A fully transparent (every process and message frozen) generated
+   instance — the regime the static-table compiler and the symbolic
+   validation backend target. *)
+let transparent_problem ?(processes = 10) ?(nodes = 2) ~k ~seed () =
+  let spec =
+    {
+      Ftes_workload.Gen.default with
+      processes;
+      nodes;
+      seed;
+      frozen_msg_prob = 1.0;
+      frozen_proc_prob = 1.0;
+    }
+  in
+  Ftes_workload.Gen.problem ~k spec
+
 (* Random application graph for structural qcheck properties. *)
 let arbitrary_graph =
   QCheck.make

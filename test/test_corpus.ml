@@ -262,6 +262,101 @@ let test_pin_refuses_failures () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* Deliberately broken instances must land as typed failed outcomes —
+   never a panic out of the runner — and verify must list them. *)
+let test_evaluate_typed_errors () =
+  let broken ~id ~source ~k ~check =
+    { I.id; source; k; check; tier = I.Smoke; axes = [] }
+  in
+  (* Unknown example name: the Invalid_argument is captured, not
+     propagated. *)
+  let o =
+    Runner.evaluate
+      (broken ~id:"broken-unknown-example"
+         ~source:(I.Example "does-not-exist") ~k:1 ~check:I.Exhaustive)
+  in
+  Alcotest.(check bool) "unknown example fails" false o.Runner.ok;
+  (match o.Runner.error with
+  | Some (Runner.Crash msg) ->
+      Alcotest.(check bool) "crash names the example" true
+        (let needle = "does-not-exist" in
+         let n = String.length needle in
+         let rec at i =
+           i + n <= String.length msg
+           && (String.sub msg i n = needle || at (i + 1))
+         in
+         at 0)
+  | other ->
+      Alcotest.failf "expected Crash, got %s"
+        (match other with
+        | None -> "ok"
+        | Some e -> Runner.error_to_string e));
+  Alcotest.(check string) "detail = rendered error"
+    (Runner.error_to_string (Option.get o.Runner.error))
+    o.Runner.detail;
+  (* FT-CPG expansion overflow: typed, with the cap. *)
+  let huge =
+    broken ~id:"broken-expansion-overflow"
+      ~source:
+        (I.Generated
+           { Ftes_workload.Gen.default with processes = 1000; nodes = 2 })
+      ~k:7 ~check:I.Exhaustive
+  in
+  let o = Runner.evaluate huge in
+  Alcotest.(check bool) "overflow fails" false o.Runner.ok;
+  (match o.Runner.error with
+  | Some (Runner.Expansion_too_large cap) ->
+      Alcotest.(check bool) "cap is positive" true (cap > 0)
+  | other ->
+      Alcotest.failf "expected Expansion_too_large, got %s"
+        (match other with
+        | None -> "ok"
+        | Some e -> Runner.error_to_string e));
+  (* verify reports the failed outcome instead of trusting it. *)
+  let failures =
+    Runner.verify ~manifest:{ Manifest.version = Manifest.schema_version;
+                              entries = [] }
+      [ o ]
+  in
+  Alcotest.(check bool) "verify lists the broken instance" true
+    (List.exists
+       (fun (f : Runner.failure) -> f.Runner.id = "broken-expansion-overflow")
+       failures);
+  (* pin refuses it. *)
+  Alcotest.(check bool) "pin refuses the broken instance" true
+    (match Runner.pin [ o ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* The symbolic corpus block: fully transparent instances whose check
+   kind is table-symbolic, spanning fault hypotheses beyond the
+   explicit arena. *)
+let test_registry_symbolic_block () =
+  let symbolic =
+    List.filter
+      (fun i -> i.I.check = I.Symbolic)
+      (Registry.all ())
+  in
+  Alcotest.(check bool) "symbolic instances exist" true (symbolic <> []);
+  Alcotest.(check bool) "a k>=6 symbolic instance exists" true
+    (List.exists (fun i -> i.I.k >= 6) symbolic);
+  List.iter
+    (fun i ->
+      Alcotest.(check (option string))
+        (i.I.id ^ " kind axis") (Some "table-symbolic") (I.axis i "kind");
+      Alcotest.(check (option string))
+        (i.I.id ^ " transparency axis") (Some "frozen")
+        (I.axis i "transparency"))
+    symbolic;
+  (* The smoke-tier symbolic instance runs clean end to end. *)
+  match List.find_opt (fun i -> i.I.tier = I.Smoke) symbolic with
+  | None -> Alcotest.fail "no smoke-tier symbolic instance"
+  | Some i ->
+      let o = Runner.evaluate i in
+      Alcotest.(check bool) (i.I.id ^ " ok") true o.Runner.ok;
+      Alcotest.(check string) (i.I.id ^ " verdict") "clean-symbolic"
+        o.Runner.verdict
+
 let test_stable_seed () =
   Alcotest.(check int) "same id, same seed"
     (I.stable_seed "ex-fig5-k2")
@@ -309,5 +404,9 @@ let () =
             test_run_preserves_order;
           Alcotest.test_case "pin refuses failures" `Quick
             test_pin_refuses_failures;
+          Alcotest.test_case "typed error outcomes" `Quick
+            test_evaluate_typed_errors;
+          Alcotest.test_case "symbolic block" `Quick
+            test_registry_symbolic_block;
         ] );
     ]

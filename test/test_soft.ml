@@ -163,6 +163,41 @@ let test_soft_length_mismatch () =
     (Invalid_argument "Softsched.schedule: classes length mismatch") (fun () ->
       ignore (SS.schedule ~classes:[| SS.Hard |] p))
 
+(* The historical [assert false] on a hard process reaching a soft
+   placement decision is now a descriptive error naming the process. *)
+let test_soft_utility_of_hard () =
+  let p, classes, _ = mixed_problem ~k:1 in
+  let g = Problem.graph p in
+  let hard_pid =
+    Option.get
+      (Array.to_list (Array.mapi (fun pid c -> (pid, c)) classes)
+      |> List.find_map (fun (pid, c) -> if c = SS.Hard then Some pid else None))
+  in
+  (match SS.soft_utility ~classes g hard_pid with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the process: %s" msg)
+        true
+        (let name = (Graph.process g hard_pid).Graph.pname in
+         let rec contains i =
+           i + String.length name <= String.length msg
+           && (String.sub msg i (String.length name) = name || contains (i + 1))
+         in
+         contains 0)
+  | _ -> Alcotest.fail "expected Invalid_argument for a hard process");
+  (match SS.soft_utility ~classes g 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for an out-of-range pid");
+  (* A genuinely soft process round-trips its utility function. *)
+  let soft_pid, u =
+    Option.get
+      (Array.to_list (Array.mapi (fun pid c -> (pid, c)) classes)
+      |> List.find_map (fun (pid, c) ->
+             match c with SS.Soft u -> Some (pid, u) | SS.Hard -> None))
+  in
+  Alcotest.(check bool) "soft utility returned" true
+    (SS.soft_utility ~classes g soft_pid == u)
+
 let test_all_hard () =
   let p, _, _ = mixed_problem ~k:1 in
   let r = SS.schedule ~classes:(Array.make 4 SS.Hard) p in
@@ -362,6 +397,8 @@ let () =
           Alcotest.test_case "rejects hard-on-soft" `Quick
             test_soft_rejects_hard_on_soft;
           Alcotest.test_case "length mismatch" `Quick test_soft_length_mismatch;
+          Alcotest.test_case "soft utility of a hard process" `Quick
+            test_soft_utility_of_hard;
           Alcotest.test_case "all hard" `Quick test_all_hard;
           Alcotest.test_case "drop on zero utility" `Quick
             test_drop_on_zero_utility;
