@@ -1,0 +1,112 @@
+(* One typed record emitter for every bench section.
+
+   Every record in the harness's JSON output goes through {!record}, so
+   the section record shapes (sweep timings, phase timings, comparison
+   records, convergence points) stay structurally consistent, and the
+   sections that produce per-instance results feed the cross-commit
+   trajectory store (corpus/trajectory.jsonl, see
+   Ftes_corpus.Trajectory) through the same module instead of
+   hand-rolling a second serializer. *)
+
+module Trajectory = Ftes_corpus.Trajectory
+
+let schema_version = 8
+
+type jfield =
+  | JStr of string
+  | JInt of int
+  | JFloat of float  (* 6 decimals: wall-clock seconds *)
+  | JRate of float   (* 1 decimal: throughput *)
+  | JBool of bool
+
+let jfield_to_string = function
+  | JStr s -> Printf.sprintf "%S" s
+  | JInt i -> string_of_int i
+  | JFloat f -> Printf.sprintf "%.6f" f
+  | JRate f -> Printf.sprintf "%.1f" f
+  | JBool b -> string_of_bool b
+
+let records : string list ref = ref []
+
+let record fields =
+  let body =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%S: %s" k (jfield_to_string v))
+         fields)
+  in
+  records := Printf.sprintf "    {%s}" body :: !records
+
+let record_timing ~name ~jobs ~wall_s ?scenarios_per_s () =
+  record
+    ([ ("name", JStr name); ("jobs", JInt jobs); ("wall_s", JFloat wall_s) ]
+    @
+    match scenarios_per_s with
+    | None -> []
+    | Some r -> [ ("scenarios_per_s", JRate r) ])
+
+let record_phase ~name ~jobs ~wall_s =
+  record
+    [ ("phase", JStr name); ("jobs", JInt jobs); ("wall_s", JFloat wall_s) ]
+
+let write path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema_version\": %d,\n  \"records\": [\n"
+    schema_version;
+  output_string oc (String.concat ",\n" (List.rev !records));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d timing records)\n" path
+    (List.length !records)
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory feed                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Same commit-identity chain as `ftes corpus run`: explicit flag, then
+   the env vars CI exports, then "unknown" — the harness never shells
+   out to git. *)
+let resolve_commit = function
+  | Some c -> c
+  | None -> (
+      match Sys.getenv_opt "FTES_COMMIT" with
+      | Some c when c <> "" -> c
+      | _ -> (
+          match Sys.getenv_opt "GITHUB_SHA" with
+          | Some c when c <> "" -> c
+          | _ -> "unknown"))
+
+let trajectory : (string * string) option ref = ref None
+let pending : Trajectory.entry list ref = ref []
+
+let configure_trajectory ~path ~commit =
+  trajectory := Some (path, resolve_commit commit)
+
+let trajectory_point ~id ~ok ~length ~wall_ms =
+  match !trajectory with
+  | None -> ()
+  | Some (_, commit) ->
+      pending :=
+        {
+          Trajectory.commit;
+          schema = Trajectory.schema_version;
+          id;
+          ok;
+          length;
+          wall_ms;
+        }
+        :: !pending
+
+let flush_trajectory () =
+  match !trajectory with
+  | None -> ()
+  | Some (path, commit) ->
+      let entries = List.rev !pending in
+      pending := [];
+      if entries <> [] then begin
+        Trajectory.append path entries;
+        Printf.printf "appended %d trajectory entr%s to %s (commit %s)\n"
+          (List.length entries)
+          (if List.length entries = 1 then "y" else "ies")
+          path commit
+      end

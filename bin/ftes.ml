@@ -96,17 +96,63 @@ let strategy_conv =
   Arg.conv (parse, print)
 
 let synthesize path strategy fto checkpointing no_tables matrix validate
-    explain json symbolic jobs no_cache stats trace metrics =
-  if trace <> None || metrics then Ftes_util.Telemetry.enable ();
+    explain json symbolic jobs no_cache stats trace metrics progress events
+    metrics_json prometheus =
+  if trace <> None || metrics || metrics_json <> None || prometheus <> None
+  then Ftes_util.Telemetry.enable ();
+  let events_oc = Option.map open_out events in
+  let event_sinks = ref [] in
+  if progress || events_oc <> None then begin
+    Ftes_util.Events.enable ();
+    (match events_oc with
+    | Some oc ->
+        event_sinks :=
+          Ftes_util.Events.add_sink (Ftes_util.Events.ndjson_sink oc)
+          :: !event_sinks
+    | None -> ());
+    if progress then
+      event_sinks :=
+        Ftes_util.Events.add_sink (Ftes_util.Events.progress_sink stderr)
+        :: !event_sinks
+  end;
   (* Emitted on every exit path, including validation failure. *)
   let finish_telemetry () =
+    if Ftes_util.Events.enabled () then begin
+      Ftes_util.Events.drain ();
+      let dropped = Ftes_util.Events.dropped () in
+      if dropped > 0 then
+        Format.eprintf "events: %d event(s) dropped (ring buffer full)@."
+          dropped;
+      Ftes_util.Events.disable ()
+    end;
+    List.iter Ftes_util.Events.remove_sink !event_sinks;
+    (match (events_oc, events) with
+    | Some oc, Some file ->
+        close_out oc;
+        Format.printf "wrote %s@." file
+    | _ -> ());
     (match trace with
     | Some file ->
         Ftes_util.Telemetry.write_chrome_trace file;
         Format.printf "wrote %s@." file
     | None -> ());
     if metrics then
-      Format.printf "@.-- telemetry --@.%a@." Ftes_util.Telemetry.pp_summary ()
+      Format.printf "@.-- telemetry --@.%a@." Ftes_util.Telemetry.pp_summary ();
+    (match metrics_json with
+    | Some file ->
+        Out_channel.with_open_bin file (fun oc ->
+            output_string oc (Ftes_util.Telemetry.to_metrics_json ());
+            output_char oc '\n');
+        Format.printf "wrote %s@." file
+    | None -> ());
+    match prometheus with
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            let ppf = Format.formatter_of_out_channel oc in
+            Ftes_util.Telemetry.pp_prometheus ppf ();
+            Format.pp_print_flush ppf ());
+        Format.printf "wrote %s@." file
+    | None -> ()
   in
   let doc = read_doc path in
   let cache =
@@ -270,12 +316,41 @@ let synthesize_cmd =
                  (span tree with totals and self-time, counters, \
                  histograms) after synthesis.")
   in
+  let progress =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Stream live progress to stderr while synthesis runs: \
+                 phase boundaries, optimizer incumbent improvements \
+                 (cost, evaluations, wall time), validation progress \
+                 and GC samples.")
+  in
+  let events =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Stream typed progress events to FILE as NDJSON (one \
+                 JSON object per line) while synthesis runs. Event \
+                 emission never blocks the search: a full buffer drops \
+                 events and reports the count instead.")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None
+           & info [ "metrics-json" ] ~docv:"FILE"
+               ~doc:"Record telemetry and write the final \
+                     counters/gauges/histograms snapshot to FILE as \
+                     JSON.")
+  in
+  let prometheus =
+    Arg.(value & opt (some string) None
+           & info [ "prometheus" ] ~docv:"FILE"
+               ~doc:"Record telemetry and write the final metrics \
+                     snapshot to FILE in the Prometheus text \
+                     exposition format.")
+  in
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:"Synthesize a fault-tolerant configuration and its tables.")
     Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
           $ matrix $ validate $ explain $ json $ symbolic $ jobs $ no_cache
-          $ stats $ trace $ metrics)
+          $ stats $ trace $ metrics $ progress $ events $ metrics_json
+          $ prometheus)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -421,6 +496,7 @@ module Corpus_instance = Ftes_corpus.Instance
 module Corpus_registry = Ftes_corpus.Registry
 module Corpus_manifest = Ftes_corpus.Manifest
 module Corpus_runner = Ftes_corpus.Runner
+module Corpus_trajectory = Ftes_corpus.Trajectory
 
 let tier_conv =
   let parse s =
@@ -467,7 +543,44 @@ let corpus_list tiers filter =
     instances;
   Format.printf "%d instance(s)@." (List.length instances)
 
-let corpus_run tiers filter jobs =
+(* Commit identity for trajectory entries: explicit flag first, then the
+   environment (CI exports GITHUB_SHA; FTES_COMMIT overrides anywhere),
+   then "unknown" — the binary never shells out to git. *)
+let resolve_commit = function
+  | Some c -> c
+  | None -> (
+      match Sys.getenv_opt "FTES_COMMIT" with
+      | Some c when c <> "" -> c
+      | _ -> (
+          match Sys.getenv_opt "GITHUB_SHA" with
+          | Some c when c <> "" -> c
+          | _ -> "unknown"))
+
+let append_trajectory ~trajectory ~commit outcomes =
+  match trajectory with
+  | None -> ()
+  | Some path ->
+      let commit = resolve_commit commit in
+      let entries =
+        List.map
+          (fun (o : Corpus_runner.outcome) ->
+            {
+              Corpus_trajectory.commit;
+              schema = Corpus_trajectory.schema_version;
+              id = o.Corpus_runner.instance.Corpus_instance.id;
+              ok = o.Corpus_runner.ok;
+              length = o.Corpus_runner.length;
+              wall_ms = o.Corpus_runner.wall_ms;
+            })
+          outcomes
+      in
+      Corpus_trajectory.append path entries;
+      Format.printf "appended %d entr%s to %s (commit %s)@."
+        (List.length entries)
+        (if List.length entries = 1 then "y" else "ies")
+        path commit
+
+let corpus_run tiers filter jobs trajectory commit =
   let instances = corpus_select tiers filter in
   let outcomes =
     Corpus_runner.run ?jobs ~on_outcome:print_outcome instances
@@ -478,6 +591,7 @@ let corpus_run tiers filter jobs =
   in
   Format.printf "@.%d instance(s), %.1f s total instance time, %d failure(s)@."
     (List.length outcomes) (wall /. 1000.) (List.length failed);
+  append_trajectory ~trajectory ~commit outcomes;
   if failed <> [] then begin
     List.iter
       (fun o ->
@@ -531,6 +645,43 @@ let corpus_pin jobs manifest_path =
   Format.printf "@.pinned %d instance(s) into %s@." (List.length outcomes)
     manifest_path
 
+let corpus_trend trajectory window wall_tolerance wall_floor_ms
+    length_tolerance =
+  let module T = Corpus_trajectory in
+  match T.load trajectory with
+  | Error msg ->
+      Format.eprintf "cannot load trajectory %s: %s@." trajectory msg;
+      exit 2
+  | Ok [] ->
+      Format.printf "trajectory %s has no entries; nothing to compare@."
+        trajectory
+  | Ok entries -> (
+      match
+        T.trend ~window ~wall_tolerance ~wall_floor_ms ~length_tolerance
+          entries
+      with
+      | [] ->
+          Format.printf
+            "no instance has two or more runs in the window yet; nothing to \
+             compare@."
+      | comparisons ->
+          List.iter
+            (fun c -> Format.printf "@[<v>%a@]@." T.pp_comparison c)
+            comparisons;
+          let bad =
+            List.filter (fun c -> c.T.problems <> []) comparisons
+          in
+          if bad = [] then
+            Format.printf
+              "@.corpus trend: OK (%d instance(s) within tolerance over a \
+               window of %d)@."
+              (List.length comparisons) window
+          else begin
+            Format.printf "@.corpus trend FAILED (%d regression(s))@."
+              (List.length bad);
+            exit 1
+          end)
+
 let corpus_cmd =
   let tiers =
     Arg.(value & opt_all tier_conv []
@@ -563,11 +714,63 @@ let corpus_cmd =
       (Cmd.info "list" ~doc:"List corpus instances and their axes.")
       Term.(const corpus_list $ tiers $ filter)
   in
+  let trajectory_opt =
+    Arg.(value & opt (some string) None
+           & info [ "trajectory" ] ~docv:"FILE"
+               ~doc:"Also append one JSONL entry per instance (commit, \
+                     id, ok, length, wall_ms) to this trajectory file.")
+  in
+  let trajectory_path =
+    Arg.(value & opt string "corpus/trajectory.jsonl"
+           & info [ "trajectory" ] ~docv:"FILE" ~doc:"Trajectory file.")
+  in
+  let commit =
+    Arg.(value & opt (some string) None
+           & info [ "commit" ]
+               ~doc:"Commit id recorded in trajectory entries (default: \
+                     \\$FTES_COMMIT, then \\$GITHUB_SHA, then \
+                     'unknown').")
+  in
+  let window =
+    Arg.(value & opt int 5
+           & info [ "window" ]
+               ~doc:"Most recent runs per instance considered by trend.")
+  in
+  let wall_tolerance =
+    Arg.(value & opt float 0.5
+           & info [ "wall-tolerance" ]
+               ~doc:"Allowed relative wall-time growth over the prior \
+                     median before a runtime regression is flagged \
+                     (0.5 = +50%).")
+  in
+  let wall_floor_ms =
+    Arg.(value & opt float 10.
+           & info [ "wall-floor-ms" ]
+               ~doc:"Absolute wall-time floor below which runtime \
+                     regressions are never flagged (sub-millisecond \
+                     instances jitter by whole multiples).")
+  in
+  let length_tolerance =
+    Arg.(value & opt float 1e-6
+           & info [ "length-tolerance" ]
+               ~doc:"Allowed absolute schedule-length growth over the \
+                     prior best before a quality regression is flagged.")
+  in
   let run_cmd =
     Cmd.v
       (Cmd.info "run"
          ~doc:"Execute corpus instances (no manifest comparison).")
-      Term.(const corpus_run $ tiers $ filter $ jobs)
+      Term.(const corpus_run $ tiers $ filter $ jobs $ trajectory_opt
+            $ commit)
+  in
+  let trend_cmd =
+    Cmd.v
+      (Cmd.info "trend"
+         ~doc:"Compare the most recent trajectory entries per instance \
+               and fail on runtime or quality regressions beyond the \
+               tolerance band.")
+      Term.(const corpus_trend $ trajectory_path $ window $ wall_tolerance
+            $ wall_floor_ms $ length_tolerance)
   in
   let verify_cmd =
     Cmd.v
@@ -589,7 +792,7 @@ let corpus_cmd =
              spanning DAG shapes, fault hypotheses up to k=7, both bus \
              models, transparency densities, WCET heterogeneity and \
              soft-goal variants.")
-    [ list_cmd; run_cmd; verify_cmd; pin_cmd ]
+    [ list_cmd; run_cmd; verify_cmd; pin_cmd; trend_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* reliability                                                         *)

@@ -6,6 +6,7 @@ module Tabu = Ftes_optim.Tabu
 module Slack = Ftes_sched.Slack
 module Table = Ftes_sched.Table
 module Telemetry = Ftes_util.Telemetry
+module Events = Ftes_util.Events
 
 type t = {
   problem : Problem.t;
@@ -40,6 +41,7 @@ let try_tables ~conditional ~max_vertices ~jobs problem =
   if not conditional then (None, None)
   else
     Telemetry.with_span ~cat:"core" "synthesize.tables" @@ fun () ->
+    Events.with_phase "synthesize.tables" @@ fun () ->
     match Ftcpg.build ~max_vertices problem with
     | exception Ftcpg.Too_large _ -> (None, None)
     | ftcpg -> (
@@ -67,6 +69,7 @@ let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
     else []
   in
   Telemetry.with_span ~cat:"core" ~args "synthesize" @@ fun () ->
+  Events.with_phase "synthesize" @@ fun () ->
   let inputs = { Strategy.app; arch; wcet; k } in
   let nft =
     if options.compute_fto then
@@ -77,13 +80,15 @@ let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
   let problem =
     if options.checkpointing then
       Telemetry.with_span ~cat:"core" "synthesize.checkpointing" (fun () ->
-          Ftes_optim.Checkpoint.global_optimize ?cache:options.tabu.Tabu.cache
-            outcome.Strategy.problem)
+          Events.with_phase "synthesize.checkpointing" (fun () ->
+              Ftes_optim.Checkpoint.global_optimize
+                ?cache:options.tabu.Tabu.cache outcome.Strategy.problem))
     else outcome.Strategy.problem
   in
   let estimate =
     Telemetry.with_span ~cat:"core" "synthesize.estimate" (fun () ->
-        Slack.evaluate problem)
+        Events.with_phase "synthesize.estimate" (fun () ->
+            Slack.evaluate problem))
   in
   let ftcpg, table =
     try_tables ~conditional:options.conditional

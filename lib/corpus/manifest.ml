@@ -254,3 +254,10 @@ let load path =
 let save path t =
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (to_string t))
+
+let json_of_string s =
+  match parse_json s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let json_escape = escape

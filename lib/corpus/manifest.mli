@@ -35,3 +35,24 @@ val of_string : string -> (t, string) result
 
 val load : string -> (t, string) result
 val save : string -> t -> unit
+
+(** {1 Minimal JSON toolkit}
+
+    The repo carries no JSON library; the hand-rolled value type and
+    parser behind the manifest are exposed for reuse by {!Trajectory}
+    and the event-stream tests. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+val json_of_string : string -> (json, string) result
+(** Parse one complete JSON value (tolerating surrounding whitespace);
+    rejects trailing content. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding between double quotes in JSON. *)

@@ -13,6 +13,7 @@ module Softsched = Ftes_soft.Softsched
 module Rng = Ftes_util.Rng
 module Par = Ftes_util.Par
 module Telemetry = Ftes_util.Telemetry
+module Events = Ftes_util.Events
 
 let c_instances = Telemetry.counter "corpus.instances"
 let c_failures = Telemetry.counter "corpus.failures"
@@ -203,10 +204,20 @@ let run ?jobs ?on_outcome instances =
       List.iter
         (fun o ->
           incr done_count;
+          if Events.enabled () then
+            Events.emit
+              (Events.Corpus_outcome
+                 {
+                   id = o.instance.I.id;
+                   ok = o.ok;
+                   verdict = o.verdict;
+                   wall_ms = o.wall_ms;
+                 });
           match on_outcome with
           | Some f -> f ~done_count:!done_count ~total o
           | None -> ())
         outcomes;
+      if Events.enabled () then Events.drain ();
       go (pos + len) (outcomes :: acc)
     end
   in

@@ -3,6 +3,7 @@ module Policy = Ftes_app.Policy
 module Fttime = Ftes_app.Fttime
 module Graph = Ftes_app.Graph
 module Telemetry = Ftes_util.Telemetry
+module Events = Ftes_util.Events
 
 let c_passes = Telemetry.counter "checkpoint.passes"
 let c_accepted = Telemetry.counter "checkpoint.accepted"
@@ -62,6 +63,9 @@ let global_optimize ?cache ?(max_checkpoints = 100) ?(max_passes = 32) problem =
   in
   let best = ref problem in
   let best_len = ref (objective problem) in
+  let ev_on = Events.enabled () in
+  let ev_t0 = Events.now () in
+  let ev_evals = ref 0 in
   let try_move pid copy delta =
     let p = (!best).Problem.policies.(pid) in
     if copy < Policy.replica_count p then begin
@@ -74,10 +78,20 @@ let global_optimize ?cache ?(max_checkpoints = 100) ?(max_passes = 32) problem =
           Problem.with_policies !best policies (!best).Problem.mapping
         in
         let len = objective cand in
+        if ev_on then incr ev_evals;
         if len < !best_len -. 1e-9 then begin
           best := cand;
           best_len := len;
           Telemetry.incr c_accepted;
+          if ev_on then
+            Events.emit
+              (Events.Incumbent
+                 {
+                   source = "checkpoint";
+                   cost = len;
+                   evals = !ev_evals;
+                   wall_s = Events.now () -. ev_t0;
+                 });
           true
         end
         else false
@@ -102,6 +116,7 @@ let global_optimize ?cache ?(max_checkpoints = 100) ?(max_passes = 32) problem =
           if try_move pid copy 1 then improved := true
         done
       done;
+      if ev_on then Events.drain ();
       if !improved then pass (i + 1) else !best
     end
   in

@@ -3,6 +3,7 @@ module Mapping = Ftes_ftcpg.Mapping
 module Graph = Ftes_app.Graph
 module Wcet = Ftes_arch.Wcet
 module Telemetry = Ftes_util.Telemetry
+module Events = Ftes_util.Events
 
 let c_rounds = Telemetry.counter "descent.rounds"
 
@@ -18,7 +19,13 @@ let policy_sweep ?cache ?(kinds = [ Tabu.Reexec; Tabu.Repl; Tabu.Combined ])
   let max_rounds = match max_rounds with Some r -> r | None -> nprocs in
   let k = problem.Problem.k in
   let wcet = problem.Problem.wcet in
-  let objective p = objective ?cache p in
+  let ev_on = Events.enabled () in
+  let ev_t0 = Events.now () in
+  let ev_evals = ref 0 in
+  let objective p =
+    if ev_on then incr ev_evals;
+    objective ?cache p
+  in
   let evaluate p =
     match cache with
     | Some c -> Evalcache.evaluate ~ft:true c p
@@ -61,7 +68,19 @@ let policy_sweep ?cache ?(kinds = [ Tabu.Reexec; Tabu.Repl; Tabu.Combined ])
         (candidates best);
       match !chosen with
       | None -> best
-      | Some (cand, len) -> round (i + 1) cand len
+      | Some (cand, len) ->
+          if ev_on then begin
+            Events.emit
+              (Events.Incumbent
+                 {
+                   source = "descent.policy";
+                   cost = len;
+                   evals = !ev_evals;
+                   wall_s = Events.now () -. ev_t0;
+                 });
+            Events.drain ()
+          end;
+          round (i + 1) cand len
     end
   in
   Telemetry.with_span ~cat:"optim" "descent.policy_sweep" (fun () ->
@@ -72,7 +91,13 @@ let remap_sweep ?cache ?max_rounds problem =
   let nprocs = Graph.process_count g in
   let max_rounds = match max_rounds with Some r -> r | None -> nprocs in
   let wcet = problem.Problem.wcet in
-  let objective p = objective ?cache p in
+  let ev_on = Events.enabled () in
+  let ev_t0 = Events.now () in
+  let ev_evals = ref 0 in
+  let objective p =
+    if ev_on then incr ev_evals;
+    objective ?cache p
+  in
   let rec round i best best_len =
     if i >= max_rounds then best
     else begin
@@ -107,7 +132,19 @@ let remap_sweep ?cache ?max_rounds problem =
       done;
       match !chosen with
       | None -> best
-      | Some (cand, len) -> round (i + 1) cand len
+      | Some (cand, len) ->
+          if ev_on then begin
+            Events.emit
+              (Events.Incumbent
+                 {
+                   source = "descent.remap";
+                   cost = len;
+                   evals = !ev_evals;
+                   wall_s = Events.now () -. ev_t0;
+                 });
+            Events.drain ()
+          end;
+          round (i + 1) cand len
     end
   in
   Telemetry.with_span ~cat:"optim" "descent.remap_sweep" (fun () ->

@@ -5,11 +5,14 @@ module Graph = Ftes_app.Graph
 module Wcet = Ftes_arch.Wcet
 module Rng = Ftes_util.Rng
 module Telemetry = Ftes_util.Telemetry
+module Events = Ftes_util.Events
 
 (* Search-trajectory telemetry. Counters are process-wide; the per-run
    story lives in the [tabu.optimize] / [tabu.iter] spans. Recording is
    observation only: nothing below reads a recorded value, so the
-   trajectory is bit-identical with telemetry on or off. *)
+   trajectory is bit-identical with telemetry on or off. The same
+   discipline covers the live event stream: incumbent-improved events
+   carry (cost, evals, wall_s) out but nothing flows back in. *)
 let c_iterations = Telemetry.counter "tabu.iterations"
 let c_moves_evaluated = Telemetry.counter "tabu.moves_evaluated"
 let c_accepted = Telemetry.counter "tabu.accepted"
@@ -188,6 +191,15 @@ let optimize_body opts problem =
   let best_len = ref (objective problem) in
   let current = ref problem in
   let stall = ref 0 in
+  let ev_on = Events.enabled () in
+  let ev_t0 = Events.now () in
+  let ev_evals = ref 0 in
+  if ev_on then begin
+    Events.emit
+      (Events.Incumbent
+         { source = "tabu"; cost = !best_len; evals = 0; wall_s = 0. });
+    Events.drain ()
+  end;
   let step iter =
     Telemetry.incr c_iterations;
     (* Sample candidate moves, keep the best admissible one. The
@@ -213,6 +225,7 @@ let optimize_body opts problem =
     in
     if Telemetry.enabled () then
       Telemetry.add c_moves_evaluated (List.length evaluated);
+    if ev_on then ev_evals := !ev_evals + List.length evaluated;
     let chosen = ref None in
     List.iter
       (function
@@ -247,7 +260,16 @@ let optimize_body opts problem =
           best_len := len;
           stall := 0;
           Telemetry.incr c_improved;
-          Telemetry.set_gauge "tabu.best_len" len
+          Telemetry.set_gauge "tabu.best_len" len;
+          if ev_on then
+            Events.emit
+              (Events.Incumbent
+                 {
+                   source = "tabu";
+                   cost = len;
+                   evals = !ev_evals;
+                   wall_s = Events.now () -. ev_t0;
+                 })
         end
         else incr stall;
         Telemetry.set_gauge "tabu.tenure_entries"
@@ -256,12 +278,13 @@ let optimize_body opts problem =
   (try
      for iter = 1 to opts.iterations do
        if !stall > opts.stall_limit then raise Exit;
-       if Telemetry.enabled () then
-         Telemetry.with_span ~cat:"optim"
-           ~args:[ ("iter", Telemetry.Int iter) ]
-           "tabu.iter"
-           (fun () -> step iter)
-       else step iter
+       (if Telemetry.enabled () then
+          Telemetry.with_span ~cat:"optim"
+            ~args:[ ("iter", Telemetry.Int iter) ]
+            "tabu.iter"
+            (fun () -> step iter)
+        else step iter);
+       if ev_on then Events.drain ()
      done
    with Exit -> ());
   (!best, !best_len)

@@ -8,6 +8,7 @@ module App = Ftes_app.App
 module Arch = Ftes_arch.Arch
 module Bus = Ftes_arch.Bus
 module Telemetry = Ftes_util.Telemetry
+module Events = Ftes_util.Events
 
 let c_scenarios = Telemetry.counter "sim.scenarios"
 let c_violations = Telemetry.counter "sim.violations"
@@ -356,8 +357,28 @@ let replay_range = Compiled.replay_range
    slice of the arena with its own scratch. The ordered range merge
    keeps the violation list byte-identical for every [jobs] value. *)
 let replay_space ?jobs c sp =
-  List.concat
-    (Ftes_util.Par.map_ranges ?jobs (Condvec.count sp) (replay_range c sp))
+  let total = Condvec.count sp in
+  if not (Events.enabled ()) then
+    List.concat (Ftes_util.Par.map_ranges ?jobs total (replay_range c sp))
+  else begin
+    (* Progress events ride on a shared cumulative counter: each range
+       reports the new running total as it completes (the event lands
+       in the worker's ring and is delivered at the next drain). The
+       counter feeds nothing back into the replay, so the violation
+       list stays byte-identical events on/off. *)
+    let done_ = Atomic.make 0 in
+    let range lo hi =
+      let vs = replay_range c sp lo hi in
+      let n = hi - lo in
+      let cleared = Atomic.fetch_and_add done_ n + n in
+      Events.emit
+        (Events.Validation_progress { backend = "explicit"; cleared; total });
+      vs
+    in
+    let out = List.concat (Ftes_util.Par.map_ranges ?jobs total range) in
+    Events.drain ();
+    out
+  end
 
 (* Early-exit replay: consume the arena in pool-sized batches and trim
    the result to the exact minimal scenario prefix whose cumulative
@@ -391,6 +412,12 @@ let replay_until_space ?jobs ~limit c sp =
                  out.(off) <- vs
                end
              done));
+      if Events.enabled () then begin
+        Events.emit
+          (Events.Validation_progress
+             { backend = "explicit"; cleared = hi; total = count });
+        Events.drain ()
+      end;
       let found = ref found in
       let cut = ref (-1) in
       (try

@@ -1,0 +1,303 @@
+(* Live typed progress events: bounded per-domain rings, subscriber
+   sinks, ordered drain. See events.mli for the contract. *)
+
+type payload =
+  | Phase_start of { phase : string }
+  | Phase_finish of { phase : string; wall_s : float }
+  | Incumbent of { source : string; cost : float; evals : int; wall_s : float }
+  | Validation_progress of { backend : string; cleared : int; total : int }
+  | Corpus_outcome of {
+      id : string;
+      ok : bool;
+      verdict : string;
+      wall_ms : float;
+    }
+  | Gc_sample of {
+      phase : string;
+      minor_words : float;
+      major_words : float;
+      heap_mb : float;
+      major_collections : int;
+    }
+
+type event = { seq : int; t : float; dom : int; payload : payload }
+
+(* ------------------------------------------------------------------ *)
+(* Recording switch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+let t0 = Atomic.make 0.
+let seq_counter = Atomic.make 0
+let dropped_total = Atomic.make 0
+let dropped () = Atomic.get dropped_total
+
+let now () =
+  if Atomic.get on then Unix.gettimeofday () -. Atomic.get t0 else 0.
+
+let default_capacity = 4096
+let cap_setting = Atomic.make default_capacity
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain bounded rings                                            *)
+(* ------------------------------------------------------------------ *)
+
+let filler = { seq = 0; t = 0.; dom = 0; payload = Phase_start { phase = "" } }
+
+(* [head] and [tail] are monotonically increasing cursors into a
+   virtual infinite stream; the physical slot of cursor [i] is
+   [i mod capacity]. Only the owning domain writes [tail] (after the
+   slot write — the atomic store publishes it), only the draining
+   domain writes [head], so each ring is a single-producer,
+   single-consumer queue and [emit] never takes a lock. *)
+type ring = {
+  rdom : int;
+  mutable slots : event array;
+  head : int Atomic.t;
+  tail : int Atomic.t;
+}
+
+let registry_lock = Mutex.create ()
+let registry : ring list ref = ref []
+
+let ring_key : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          rdom = (Domain.self () :> int);
+          slots = Array.make (Atomic.get cap_setting) filler;
+          head = Atomic.make 0;
+          tail = Atomic.make 0;
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := r :: !registry;
+      Mutex.unlock registry_lock;
+      r)
+
+let my_ring () = Domain.DLS.get ring_key
+
+let clear_rings ~capacity =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun r ->
+      (match capacity with
+      | Some c when c <> Array.length r.slots -> r.slots <- Array.make c filler
+      | Some _ | None -> ());
+      Atomic.set r.head 0;
+      Atomic.set r.tail 0)
+    !registry;
+  Mutex.unlock registry_lock
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Events.enable: capacity must be positive";
+  Atomic.set cap_setting capacity;
+  clear_rings ~capacity:(Some capacity);
+  Atomic.set dropped_total 0;
+  Atomic.set t0 (Unix.gettimeofday ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let reset () =
+  clear_rings ~capacity:None;
+  Atomic.set dropped_total 0
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let emit payload =
+  if Atomic.get on then begin
+    let r = my_ring () in
+    let tail = Atomic.get r.tail in
+    let cap = Array.length r.slots in
+    if tail - Atomic.get r.head >= cap then Atomic.incr dropped_total
+    else begin
+      let seq = Atomic.fetch_and_add seq_counter 1 in
+      let t = Unix.gettimeofday () -. Atomic.get t0 in
+      r.slots.(tail mod cap) <- { seq; t; dom = r.rdom; payload };
+      Atomic.set r.tail (tail + 1)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and draining                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sinks_lock = Mutex.create ()
+let sinks : (int * (event -> unit)) list ref = ref []
+let next_sink_id = ref 0
+
+let add_sink f =
+  Mutex.lock sinks_lock;
+  let id = !next_sink_id in
+  incr next_sink_id;
+  sinks := !sinks @ [ (id, f) ];
+  Mutex.unlock sinks_lock;
+  id
+
+let remove_sink id =
+  Mutex.lock sinks_lock;
+  sinks := List.filter (fun (i, _) -> i <> id) !sinks;
+  Mutex.unlock sinks_lock
+
+let drain_lock = Mutex.create ()
+
+let drain () =
+  if (not (Par.in_worker ())) && Mutex.try_lock drain_lock then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock drain_lock)
+      (fun () ->
+        Mutex.lock sinks_lock;
+        let snap_sinks = !sinks in
+        Mutex.unlock sinks_lock;
+        Mutex.lock registry_lock;
+        let rings = !registry in
+        Mutex.unlock registry_lock;
+        let collected = ref [] in
+        List.iter
+          (fun r ->
+            (* Read [tail] once: events emitted while we copy are
+               picked up by the next drain. *)
+            let tail = Atomic.get r.tail in
+            let head = Atomic.get r.head in
+            let cap = Array.length r.slots in
+            for i = head to tail - 1 do
+              collected := r.slots.(i mod cap) :: !collected
+            done;
+            Atomic.set r.head tail)
+          rings;
+        match (!collected, snap_sinks) with
+        | [], _ | _, [] -> ()
+        | evs, sinks ->
+            let evs = List.sort (fun a b -> compare a.seq b.seq) evs in
+            List.iter (fun ev -> List.iter (fun (_, s) -> s ev) sinks) evs)
+
+(* ------------------------------------------------------------------ *)
+(* Phase bracketing with GC sampling                                   *)
+(* ------------------------------------------------------------------ *)
+
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+let with_phase phase f =
+  if not (Atomic.get on) then f ()
+  else begin
+    emit (Phase_start { phase });
+    drain ();
+    let start = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        if Atomic.get on then begin
+          let wall_s = Unix.gettimeofday () -. start in
+          let s = Gc.quick_stat () in
+          emit
+            (Gc_sample
+               {
+                 phase;
+                 minor_words = s.Gc.minor_words;
+                 major_words = s.Gc.major_words;
+                 heap_mb = float_of_int s.Gc.heap_words *. word_bytes /. 1e6;
+                 major_collections = s.Gc.major_collections;
+               });
+          emit (Phase_finish { phase; wall_s });
+          drain ()
+        end)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g round-trips every float and stays a valid JSON number (the
+   exponent form "1e+09" is in the JSON grammar); but the compact %g
+   with 9 significant digits is plenty for costs, GC words and
+   second-resolution timestamps and keeps the stream readable. *)
+let jnum f =
+  if Float.is_finite f then Printf.sprintf "%.9g" f
+  else Printf.sprintf "\"%s\"" (string_of_float f)
+
+let to_json ev =
+  let common = Printf.sprintf "\"seq\": %d, \"t\": %s, \"dom\": %d" ev.seq
+      (jnum ev.t) ev.dom
+  in
+  match ev.payload with
+  | Phase_start { phase } ->
+      Printf.sprintf "{%s, \"type\": \"phase-start\", \"phase\": \"%s\"}"
+        common (json_escape phase)
+  | Phase_finish { phase; wall_s } ->
+      Printf.sprintf
+        "{%s, \"type\": \"phase-finish\", \"phase\": \"%s\", \"wall_s\": %s}"
+        common (json_escape phase) (jnum wall_s)
+  | Incumbent { source; cost; evals; wall_s } ->
+      Printf.sprintf
+        "{%s, \"type\": \"incumbent\", \"source\": \"%s\", \"cost\": %s, \
+         \"evals\": %d, \"wall_s\": %s}"
+        common (json_escape source) (jnum cost) evals (jnum wall_s)
+  | Validation_progress { backend; cleared; total } ->
+      Printf.sprintf
+        "{%s, \"type\": \"validation-progress\", \"backend\": \"%s\", \
+         \"cleared\": %d, \"total\": %d}"
+        common (json_escape backend) cleared total
+  | Corpus_outcome { id; ok; verdict; wall_ms } ->
+      Printf.sprintf
+        "{%s, \"type\": \"corpus-outcome\", \"id\": \"%s\", \"ok\": %b, \
+         \"verdict\": \"%s\", \"wall_ms\": %s}"
+        common (json_escape id) ok (json_escape verdict) (jnum wall_ms)
+  | Gc_sample { phase; minor_words; major_words; heap_mb; major_collections }
+    ->
+      Printf.sprintf
+        "{%s, \"type\": \"gc-sample\", \"phase\": \"%s\", \"minor_words\": \
+         %s, \"major_words\": %s, \"heap_mb\": %s, \"major_collections\": %d}"
+        common (json_escape phase) (jnum minor_words) (jnum major_words)
+        (jnum heap_mb) major_collections
+
+let ndjson_sink oc ev =
+  output_string oc (to_json ev);
+  output_char oc '\n';
+  flush oc
+
+let progress_sink oc ev =
+  (match ev.payload with
+  | Phase_start { phase } ->
+      Printf.fprintf oc "[%7.2fs] >> %s\n" ev.t phase
+  | Phase_finish { phase; wall_s } ->
+      Printf.fprintf oc "[%7.2fs] << %s (%.2f s)\n" ev.t phase wall_s
+  | Incumbent { source; cost; evals; wall_s } ->
+      Printf.fprintf oc
+        "[%7.2fs]    %s incumbent %g (%d evals, %.2f s)\n" ev.t source cost
+        evals wall_s
+  | Validation_progress { backend; cleared; total } ->
+      if total > 0 then
+        Printf.fprintf oc "[%7.2fs]    validate %s %d/%d scenarios\n" ev.t
+          backend cleared total
+      else
+        Printf.fprintf oc "[%7.2fs]    validate %s %d cube(s)\n" ev.t backend
+          cleared
+  | Corpus_outcome { id; ok; verdict; wall_ms } ->
+      Printf.fprintf oc "[%7.2fs]    corpus %-34s %s (%s, %.1f ms)\n" ev.t id
+        (if ok then "ok" else "FAILED")
+        verdict wall_ms
+  | Gc_sample { phase; heap_mb; major_collections; _ } ->
+      Printf.fprintf oc "[%7.2fs]    gc %s: heap %.1f MB, %d major\n" ev.t
+        phase heap_mb major_collections);
+  flush oc

@@ -1,0 +1,163 @@
+(** Live, typed progress events: a bounded, non-blocking per-domain
+    event stream with subscriber sinks.
+
+    {!Telemetry} is post-mortem: spans and counters are dumped after a
+    run ends. This module is the live half of observability — while a
+    multi-minute tabu search or a 1e9-scenario symbolic validation is
+    running, the synthesis pipeline {e emits} typed progress events
+    (phase start/finish, optimizer incumbent improvements, validation
+    progress, per-instance corpus outcomes, sampled GC gauges) and
+    registered {e sinks} consume them: NDJSON to a file or stderr, a
+    live TTY progress renderer, or an arbitrary in-process callback.
+    This is the substrate both the service front end (spans →
+    server-sent progress) and the cross-commit trajectory store build
+    on.
+
+    {b Never block, never crash.} Each domain owns one bounded
+    single-producer ring (registered via [Domain.DLS], like the
+    telemetry buffers). {!emit} either writes into the calling domain's
+    ring or — when the ring is full because no drain has happened —
+    drops the event and bumps the process-wide {!dropped} counter. An
+    emitter therefore never waits on a consumer, never allocates
+    unboundedly, and never raises.
+
+    {b Delivery.} Sinks run on the {e draining} domain, not the
+    emitting one: {!drain} (called from phase boundaries, optimizer
+    iterations and validation batch loops — always from outside the
+    [Par] worker pool) collects the pending events of every ring,
+    orders them by their global sequence number and feeds each to every
+    registered sink. Events emitted by pool workers during one fan-out
+    are delivered at the next drain point after the fan-out returns.
+
+    {b Determinism.} Like telemetry, events observe and never steer: no
+    RNG is consumed, no ordering is changed, no result depends on an
+    emitted value. Search results are bit-identical with events on or
+    off and for every [jobs] value (pinned by [test/test_events.ml]).
+    The event {e stream} itself is not deterministic — worker
+    interleaving and wall-clock timestamps vary between runs.
+
+    {b Pay for what you use.} With events disabled, {!emit} is one
+    atomic load and a branch; guard any payload construction with
+    {!enabled} so the off path allocates nothing. *)
+
+(** {1 Event types} *)
+
+type payload =
+  | Phase_start of { phase : string }
+  | Phase_finish of { phase : string; wall_s : float }
+  | Incumbent of {
+      source : string;
+          (** Which engine improved: ["tabu"], ["descent.policy"],
+              ["descent.remap"], ["checkpoint"]. *)
+      cost : float;  (** The new best objective (schedule length). *)
+      evals : int;  (** Design evaluations performed so far by that
+                        engine invocation. *)
+      wall_s : float;  (** Seconds since the engine invocation began. *)
+    }
+  | Validation_progress of {
+      backend : string;  (** ["explicit"] | ["symbolic"]. *)
+      cleared : int;
+          (** Scenarios replayed (explicit) or cube families processed
+              (symbolic) so far. *)
+      total : int;
+          (** Scenario count for the explicit backend; [0] for the
+              symbolic backend (the cube count is not known up
+              front). *)
+    }
+  | Corpus_outcome of {
+      id : string;
+      ok : bool;
+      verdict : string;
+      wall_ms : float;
+    }
+  | Gc_sample of {
+      phase : string;
+      minor_words : float;
+      major_words : float;
+      heap_mb : float;
+      major_collections : int;
+    }  (** [Gc.quick_stat] deltas are not taken — these are the
+           process-lifetime values at the end of [phase]. *)
+
+type event = {
+  seq : int;  (** Global emission order (atomic ticket). *)
+  t : float;  (** Seconds since {!enable}. *)
+  dom : int;  (** Emitting domain id. *)
+  payload : payload;
+}
+
+(** {1 Recording switch} *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Start recording. [capacity] (default 4096) bounds each per-domain
+    ring; existing rings are resized and cleared. Resets the clock
+    origin and the {!dropped} counter. Call only while the [Par] pool
+    is idle. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all buffered events and zero {!dropped}. Sinks stay
+    registered. *)
+
+(** {1 Emission} *)
+
+val emit : payload -> unit
+(** Non-blocking append to the calling domain's ring; drops (and
+    counts) when the ring is full; no-op while disabled. Guard payload
+    construction with {!enabled} to keep the disabled path
+    allocation-free. *)
+
+val dropped : unit -> int
+(** Events dropped since the last {!enable}/{!reset} because a ring was
+    full. Exposed so overflow is an observable number, never a block or
+    a crash. *)
+
+val now : unit -> float
+(** Seconds since {!enable} on the event clock; [0.] while disabled.
+    Engine instrumentation takes [now] deltas for [Incumbent.wall_s] so
+    emitters need no clock dependency of their own. *)
+
+val with_phase : string -> (unit -> 'a) -> 'a
+(** [with_phase name f] brackets [f] with [Phase_start]/[Phase_finish]
+    events, samples the GC ([Gc.quick_stat] → [Gc_sample]) at the end
+    of the phase, and drains on both edges. [f ()] with one branch when
+    disabled. Exceptions re-raise after the finish event. *)
+
+(** {1 Sinks and draining} *)
+
+val add_sink : (event -> unit) -> int
+(** Register a sink; returns a handle for {!remove_sink}. Sinks run on
+    the draining domain in event order. A sink must not call back into
+    this module's drain. *)
+
+val remove_sink : int -> unit
+
+val drain : unit -> unit
+(** Deliver every buffered event to the registered sinks, ordered by
+    sequence number. No-op from inside a [Par] worker and when another
+    drain is in flight ([Mutex.try_lock] — emitters and other drain
+    points never wait). Instrumented call sites drain at coarse points:
+    phase edges, optimizer iterations, validation batches; long
+    fan-outs deliver at the next drain after they return. *)
+
+(** {1 Rendering} *)
+
+val to_json : event -> string
+(** One JSON object (single line, no trailing newline): always [seq],
+    [t], [dom] and a [type] tag (["phase-start"], ["phase-finish"],
+    ["incumbent"], ["validation-progress"], ["corpus-outcome"],
+    ["gc-sample"]), plus the payload's fields. *)
+
+val ndjson_sink : out_channel -> event -> unit
+(** A sink writing {!to_json} plus a newline per event, flushed per
+    drain batch (the channel is flushed on every event — callers
+    wanting buffering can wrap the channel). Close the channel after a
+    final {!drain}. *)
+
+val progress_sink : out_channel -> event -> unit
+(** A human-oriented live renderer (one line per event, flushed):
+    phases, incumbents with cost/evals/time, validation progress,
+    corpus outcomes. Intended for [ftes synthesize --progress] on
+    stderr. *)

@@ -511,3 +511,100 @@ let write_chrome_trace path =
   let oc = open_out path in
   output_string oc (to_chrome_json ());
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Metrics exposition (JSON snapshot + Prometheus text format)         *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_histograms () =
+  Mutex.lock hist_lock;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) hist_registry [] in
+  Mutex.unlock hist_lock;
+  List.sort (fun a b -> compare a.hname b.hname) hs
+
+let jfloat f =
+  if Float.is_finite f then Printf.sprintf "%.9g" f
+  else Printf.sprintf "\"%s\"" (string_of_float f)
+
+let to_metrics_json () =
+  let b = Buffer.create 1024 in
+  let obj name render items =
+    Buffer.add_string b (Printf.sprintf "\"%s\": {" name);
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string b ", ";
+        render item)
+      items;
+    Buffer.add_string b "}"
+  in
+  Buffer.add_string b "{";
+  obj "counters"
+    (fun (name, v) ->
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" (json_escape name) v))
+    (counters ());
+  Buffer.add_string b ", ";
+  obj "gauges"
+    (fun (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": %s" (json_escape name) (jfloat v)))
+    (gauges ());
+  Buffer.add_string b ", ";
+  obj "histograms"
+    (fun h ->
+      let buckets, total, sum = hist_snapshot h in
+      Buffer.add_string b (Printf.sprintf "\"%s\": {" (json_escape h.hname));
+      Buffer.add_string b "\"buckets\": [";
+      Array.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_string b ", ";
+          let le =
+            if i < Array.length h.bounds then jfloat h.bounds.(i)
+            else "\"+Inf\""
+          in
+          Buffer.add_string b
+            (Printf.sprintf "{\"le\": %s, \"count\": %d}" le c))
+        buckets;
+      Buffer.add_string b
+        (Printf.sprintf "], \"total\": %d, \"sum\": %s}" total (jfloat sum)))
+    (sorted_histograms ());
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let prom_name name =
+  "ftes_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+        | _ -> '_')
+      name
+
+let pp_prometheus ppf () =
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Format.fprintf ppf "# TYPE %s counter@\n%s %d@\n" n n v)
+    (counters ());
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Format.fprintf ppf "# TYPE %s gauge@\n%s %g@\n" n n v)
+    (gauges ());
+  List.iter
+    (fun h ->
+      let n = prom_name h.hname in
+      let buckets, total, sum = hist_snapshot h in
+      Format.fprintf ppf "# TYPE %s histogram@\n" n;
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cumulative := !cumulative + c;
+          let le =
+            if i < Array.length h.bounds then
+              Printf.sprintf "%g" h.bounds.(i)
+            else "+Inf"
+          in
+          Format.fprintf ppf "%s_bucket{le=\"%s\"} %d@\n" n le !cumulative)
+        buckets;
+      Format.fprintf ppf "%s_sum %g@\n%s_count %d@\n" n sum n total)
+    (sorted_histograms ())

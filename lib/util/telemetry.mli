@@ -134,3 +134,19 @@ val to_chrome_json : unit -> string
 
 val write_chrome_trace : string -> unit
 (** {!to_chrome_json} written to a file. *)
+
+val to_metrics_json : unit -> string
+(** The current counters, gauges and histograms as one JSON object:
+    [{"counters": {name: int, ...}, "gauges": {name: float, ...},
+    "histograms": {name: {"buckets": [{"le": bound|"+Inf", "count": n},
+    ...], "total": n, "sum": f}, ...}}]. Machine-readable companion to
+    {!pp_summary} — no parsing of the human report needed. Counters at
+    zero are included so consumers see a stable key set. *)
+
+val pp_prometheus : Format.formatter -> unit -> unit
+(** The same snapshot in the Prometheus text exposition format
+    (version 0.0.4): counters as [counter], gauges as [gauge],
+    histograms as cumulative [histogram] series with [le] labels,
+    [_sum] and [_count]. Metric names are the registered names with
+    every non-alphanumeric character mapped to ['_'] and an [ftes_]
+    prefix. *)
