@@ -10,7 +10,7 @@
 
 module Trajectory = Ftes_corpus.Trajectory
 
-let schema_version = 8
+let schema_version = 9
 
 type jfield =
   | JStr of string

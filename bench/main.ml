@@ -11,9 +11,15 @@
 
    Timing of every sweep (jobs, wall seconds, scenarios/s where
    applicable) plus one per-phase wall-clock record is written as a
-   JSON object {"schema_version": N, "records": [...]}, BENCH_PR9.json
+   JSON object {"schema_version": N, "records": [...]}, BENCH_PR10.json
    by default; all records go through the typed emitter in
-   bench/emit.ml. The "symbolic" section cross-checks the symbolic
+   bench/emit.ml. The "portfolio" section races the parallel strategy
+   portfolio against a sequential replay of the same member list on the
+   Fig. 7 instances and records the quality-vs-time envelope: one
+   portfolio-envelope record per race (both wall clocks, the speedup,
+   the match-or-beat quality verdict), one portfolio-member record per
+   configuration and one portfolio-curve record per incumbent
+   improvement. The "symbolic" section cross-checks the symbolic
    scenario-family validator against the explicit packed validator
    (identical verdicts, wall clocks for both) and records the k >= 6
    instances only the symbolic backend can cover within their corpus
@@ -63,7 +69,7 @@ let jobs =
           Printf.eprintf "bench: --jobs expects a positive integer, got %S\n"
             s;
           exit 2)
-let json_path = flag_value "--json" "BENCH_PR9.json" Fun.id
+let json_path = flag_value "--json" "BENCH_PR10.json" Fun.id
 let trace_path = flag_value "--trace" None (fun s -> Some s)
 let events_path = flag_value "--events" None (fun s -> Some s)
 let trajectory_arg = flag_value "--trajectory" None (fun s -> Some s)
@@ -75,7 +81,7 @@ let selected =
     |> List.filter (fun a ->
            a = "ablation" || a = "validation" || a = "cache"
            || a = "telemetry" || a = "sched" || a = "corpus"
-           || a = "symbolic" || a = "events"
+           || a = "symbolic" || a = "events" || a = "portfolio"
            || (String.length a > 3 && String.sub a 0 3 = "fig"))
   in
   fun name -> wanted = [] || List.mem name wanted
@@ -695,6 +701,83 @@ let run_events_bench () =
     (List.length curve)
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio: parallel strategy race vs its own sequential replay      *)
+(* ------------------------------------------------------------------ *)
+
+let run_portfolio_bench () =
+  section
+    "Portfolio - parallel strategy race vs sequential replay\n\
+     (the same member list — MXR/MX/SFX/MR + the diagnostics-driven LNS\n\
+     engine, diversified over seeds/tenures/neighborhoods — run once\n\
+     sequentially and once racing on the domain pool with a shared\n\
+     Evalcache; deterministic mode, so the lengths must agree and the\n\
+     speedup isolates pure wall-clock parallelism)";
+  let cores = Par.default_jobs () in
+  let seeds = if quick then 1 else 2 in
+  let sizes = if quick then [ 20 ] else [ 20; 40 ] in
+  let tabu =
+    {
+      Ftes_optim.Tabu.default_options with
+      Ftes_optim.Tabu.iterations = (if quick then 25 else 40);
+    }
+  in
+  (* Five members race, so --jobs 2 caps the theoretical speedup at
+     ceil(5/2)=3 slots = 1.67x even on a big machine; widen the race to
+     the core count (up to the member count) so the recorded speedup
+     reflects the hardware, not the harness default. *)
+  let race_jobs = max jobs (min cores 5) in
+  let races =
+    E.fig7_portfolio ~jobs:race_jobs ~seeds_per_point:seeds ~sizes ~tabu ()
+  in
+  Printf.printf "  %d race(s), %d job(s), %d core(s)\n" (List.length races)
+    race_jobs cores;
+  List.iter
+    (fun (r : E.race) ->
+      Format.printf "  %a@." E.pp_race r;
+      let match_or_beat = r.E.portfolio_length <= r.E.best_single +. 1e-6 in
+      record_json
+        [
+          ("name", JStr "portfolio-envelope");
+          ("size", JInt r.E.size);
+          ("seed", JInt r.E.seed);
+          ("jobs", JInt race_jobs);
+          ("cores", JInt cores);
+          ("seq_wall_s", JFloat r.E.seq_wall_s);
+          ("port_wall_s", JFloat r.E.port_wall_s);
+          ("speedup", JFloat r.E.speedup);
+          ("best_single_len", JFloat r.E.best_single);
+          ("best_single", JStr r.E.best_single_name);
+          ("portfolio_len", JFloat r.E.portfolio_length);
+          ("winner", JStr r.E.winner);
+          ("match_or_beat", JBool match_or_beat);
+        ];
+      List.iter
+        (fun (label, length, wall_s) ->
+          record_json
+            [
+              ("name", JStr "portfolio-member");
+              ("size", JInt r.E.size);
+              ("seed", JInt r.E.seed);
+              ("member", JStr label);
+              ("length", JFloat length);
+              ("wall_s", JFloat wall_s);
+            ])
+        r.E.members;
+      List.iter
+        (fun (e : Ftes_optim.Incumbent.entry) ->
+          record_json
+            [
+              ("name", JStr "portfolio-curve");
+              ("size", JInt r.E.size);
+              ("seed", JInt r.E.seed);
+              ("member", JStr e.Ftes_optim.Incumbent.member);
+              ("cost", JFloat e.Ftes_optim.Incumbent.cost);
+              ("wall_s", JFloat e.Ftes_optim.Incumbent.wall_s);
+            ])
+        r.E.curve)
+    races
+
+(* ------------------------------------------------------------------ *)
 (* Symbolic validation: cube replay vs the explicit enumeration        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1003,6 +1086,7 @@ let () =
   if selected "cache" then timed_phase "cache" run_cache_bench;
   if selected "telemetry" then timed_phase "telemetry" run_telemetry_bench;
   if selected "events" then timed_phase "events" run_events_bench;
+  if selected "portfolio" then timed_phase "portfolio" run_portfolio_bench;
   if selected "symbolic" then timed_phase "symbolic" run_symbolic_bench;
   if selected "corpus" then timed_phase "corpus" run_corpus_bench;
   timed_phase "micro" run_micro;

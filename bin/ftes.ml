@@ -95,9 +95,9 @@ let strategy_conv =
   in
   Arg.conv (parse, print)
 
-let synthesize path strategy fto checkpointing no_tables matrix validate
-    explain json symbolic jobs no_cache stats trace metrics progress events
-    metrics_json prometheus =
+let synthesize path strategy portfolio deadline fto checkpointing no_tables
+    matrix validate explain json symbolic jobs no_cache stats trace metrics
+    progress events metrics_json prometheus =
   if trace <> None || metrics || metrics_json <> None || prometheus <> None
   then Ftes_util.Telemetry.enable ();
   let events_oc = Option.map open_out events in
@@ -176,6 +176,23 @@ let synthesize path strategy fto checkpointing no_tables matrix validate
       checkpointing;
       conditional = not no_tables;
       sched_jobs = Option.value jobs ~default:1;
+      portfolio =
+        (* --deadline only makes sense for the anytime portfolio, so it
+           implies --portfolio. *)
+        (if portfolio || deadline <> None then
+           Some
+             {
+               Ftes_optim.Portfolio.default_options with
+               Ftes_optim.Portfolio.jobs =
+                 Option.value jobs
+                   ~default:(Ftes_util.Par.default_jobs ());
+               deadline_s = deadline;
+               (* Share the CLI's cache so --stats reports the race's
+                  traffic (and --no-cache still means a fresh internal
+                  one, portfolio members always share a cache). *)
+               cache;
+             }
+         else None);
     }
   in
   let result =
@@ -245,6 +262,21 @@ let synthesize_cmd =
   let strategy =
     Arg.(value & opt strategy_conv Ftes_optim.Strategy.MXR
            & info [ "strategy" ] ~doc:"mxr | mx | mr | sfx | mc-local | mc-global.")
+  in
+  let portfolio =
+    Arg.(value & flag & info [ "portfolio" ]
+           ~doc:"Race the whole strategy portfolio (MXR, MX, SFX, MR and \
+                 the diagnostics-driven LNS engine, diversified over \
+                 seeds/tenures/neighborhoods) concurrently on the domain \
+                 pool with a shared evaluation cache, and keep the best \
+                 design. Overrides --strategy; combine with --progress \
+                 to watch the race live.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget for the portfolio race: every member \
+                 stops at the deadline and the best incumbent found so \
+                 far wins (anytime mode). Implies --portfolio.")
   in
   let fto =
     Arg.(value & flag & info [ "fto" ]
@@ -347,10 +379,10 @@ let synthesize_cmd =
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:"Synthesize a fault-tolerant configuration and its tables.")
-    Term.(const synthesize $ file $ strategy $ fto $ checkpointing $ no_tables
-          $ matrix $ validate $ explain $ json $ symbolic $ jobs $ no_cache
-          $ stats $ trace $ metrics $ progress $ events $ metrics_json
-          $ prometheus)
+    Term.(const synthesize $ file $ strategy $ portfolio $ deadline $ fto
+          $ checkpointing $ no_tables $ matrix $ validate $ explain $ json
+          $ symbolic $ jobs $ no_cache $ stats $ trace $ metrics $ progress
+          $ events $ metrics_json $ prometheus)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -470,10 +502,34 @@ let experiment which quick =
         "corrupted Fig. 6 tables (%d entries); validator report:@.@.%a@."
         (Ftes_sched.Table.entry_count table)
         Ftes_sim.Diagnose.pp_report report
+  | "race" | "race8" ->
+      let seeds = if quick then 1 else 2 in
+      let sizes = if quick then [ 20 ] else [ 20; 40 ] in
+      let races =
+        (if which = "race8" then E.fig8_portfolio else E.fig7_portfolio)
+          ~seeds_per_point:seeds ~sizes ()
+      in
+      List.iter
+        (fun r ->
+          Format.printf "%a@." E.pp_race r;
+          List.iter
+            (fun (label, len, wall) ->
+              Format.printf "    %-12s length %8.1f  (%.2f s)@." label len
+                wall)
+            r.E.members;
+          Format.printf "    curve:";
+          List.iter
+            (fun (e : Ftes_optim.Incumbent.entry) ->
+              Format.printf " %.1f@%.2fs" e.Ftes_optim.Incumbent.cost
+                e.Ftes_optim.Incumbent.wall_s)
+            r.E.curve;
+          Format.printf "@.")
+        races
   | other ->
       Format.eprintf
         "unknown experiment %S \
-         (fig1|fig2|fig4|fig5|fig6|fig7|fig8|ablation|soft|diagnose)@."
+         (fig1|fig2|fig4|fig5|fig6|fig7|fig8|ablation|soft|diagnose|race|\
+         race8)@."
         other;
       exit 2
 

@@ -8,6 +8,7 @@ module Checkpoint = Ftes_optim.Checkpoint
 module Slack = Ftes_sched.Slack
 module Gen = Ftes_workload.Gen
 module Stats = Ftes_util.Stats
+module Portfolio = Ftes_optim.Portfolio
 
 type series = { x_label : string; xs : float list; curves : (string * float list) list }
 
@@ -200,6 +201,102 @@ let fig8 ?jobs ?(seeds_per_point = 5) ?(sizes = [ 40; 60; 80; 100 ])
     xs = List.map float_of_int sizes;
     curves = [ ("global vs local checkpointing", deviation) ];
   }
+
+type race = {
+  size : int;
+  seed : int;
+  seq_wall_s : float;
+  port_wall_s : float;
+  speedup : float;
+  best_single : float;
+  best_single_name : string;
+  portfolio_length : float;
+  winner : string;
+  members : (string * float * float) list;
+  curve : Ftes_optim.Incumbent.entry list;
+}
+
+let portfolio_races ~checkpointing ?(jobs = Ftes_util.Par.default_jobs ())
+    ?(seeds_per_point = 2) ?(sizes = [ 20; 40 ])
+    ?(tabu = Tabu.default_options) ?deadline_s ?(exchange = false) () =
+  List.concat_map
+    (fun size ->
+      List.init seeds_per_point (fun s ->
+          let seed = (size * 131) + s in
+          let inputs = instance_inputs ~size ~seed in
+          let members =
+            Portfolio.default_members ~seed:tabu.Tabu.seed
+              ~sample:tabu.Tabu.sample ~checkpointing ()
+          in
+          (* Both arms run the exact same member list under the exact
+             same per-member options (members force inner jobs to 1):
+             the sequential arm is literally the jobs=1 portfolio, so in
+             deterministic mode (no deadline, no exchange) the lengths
+             agree to the bit and the speedup isolates pure wall-clock
+             parallelism. Fresh caches per arm keep the comparison
+             honest — the parallel arm must not profit from entries the
+             sequential arm already paid for. *)
+          let run jobs =
+            Portfolio.run
+              ~opts:
+                {
+                  Portfolio.jobs;
+                  deadline_s;
+                  exchange;
+                  cache = None;
+                  tabu;
+                }
+              ~members inputs
+          in
+          let seq = run 1 in
+          let par = run jobs in
+          let best_single, best_single_name =
+            List.fold_left
+              (fun (bl, bn) (o : Portfolio.member_outcome) ->
+                if o.Portfolio.length < bl -. 1e-9 then
+                  (o.Portfolio.length, o.Portfolio.member.Portfolio.label)
+                else (bl, bn))
+              (infinity, "-") seq.Portfolio.members
+          in
+          {
+            size;
+            seed;
+            seq_wall_s = seq.Portfolio.wall_s;
+            port_wall_s = par.Portfolio.wall_s;
+            speedup =
+              seq.Portfolio.wall_s /. Float.max 1e-9 par.Portfolio.wall_s;
+            best_single;
+            best_single_name;
+            portfolio_length =
+              par.Portfolio.winner.Portfolio.length;
+            winner = par.Portfolio.winner.Portfolio.member.Portfolio.label;
+            members =
+              List.map
+                (fun (o : Portfolio.member_outcome) ->
+                  ( o.Portfolio.member.Portfolio.label,
+                    o.Portfolio.length,
+                    o.Portfolio.wall_s ))
+                par.Portfolio.members;
+            curve = par.Portfolio.curve;
+          }))
+    sizes
+
+let fig7_portfolio ?jobs ?seeds_per_point ?sizes ?tabu ?deadline_s ?exchange
+    () =
+  portfolio_races ~checkpointing:false ?jobs ?seeds_per_point ?sizes ?tabu
+    ?deadline_s ?exchange ()
+
+let fig8_portfolio ?jobs ?seeds_per_point ?sizes ?tabu ?deadline_s ?exchange
+    () =
+  portfolio_races ~checkpointing:true ?jobs ?seeds_per_point ?sizes ?tabu
+    ?deadline_s ?exchange ()
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "@[<v>race (%d procs, seed %d): portfolio %.1f in %.2f s (winner %s) vs \
+     best single %s %.1f in %.2f s sequential — %.2fx@]"
+    r.size r.seed r.portfolio_length r.port_wall_s r.winner r.best_single_name
+    r.best_single r.seq_wall_s r.speedup
 
 let transparency_tradeoff ?jobs ?(seeds = 5)
     ?(levels = [ 0.; 0.25; 0.5; 0.75; 1.0 ]) ?(processes = 8) () =

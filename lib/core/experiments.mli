@@ -72,6 +72,58 @@ val fig8 :
     ([ (FTO_local - FTO_global) / FTO_local * 100 ]; larger deviation =
     smaller overhead). Sizes default to 40..100 processes. *)
 
+type race = {
+  size : int;
+  seed : int;
+  seq_wall_s : float;  (** Wall clock of the sequential replay arm. *)
+  port_wall_s : float;  (** Wall clock of the parallel portfolio arm. *)
+  speedup : float;  (** [seq_wall_s /. port_wall_s]. *)
+  best_single : float;
+      (** Best final length any single member achieved in the
+          sequential replay. *)
+  best_single_name : string;
+  portfolio_length : float;  (** The parallel portfolio's winner length. *)
+  winner : string;
+  members : (string * float * float) list;
+      (** Parallel-arm member outcomes: label, length, wall seconds. *)
+  curve : Ftes_optim.Incumbent.entry list;
+      (** The parallel arm's anytime incumbent curve. *)
+}
+(** One head-to-head between the sequential replay of a member list and
+    the portfolio racing the {e same} list in parallel. Both arms use
+    identical per-member options (members run with inner [jobs = 1]
+    either way) and fresh caches, so in deterministic mode the lengths
+    match exactly and the speedup measures pure wall-clock
+    parallelism. *)
+
+val fig7_portfolio :
+  ?jobs:int ->
+  ?seeds_per_point:int ->
+  ?sizes:int list ->
+  ?tabu:Ftes_optim.Tabu.options ->
+  ?deadline_s:float ->
+  ?exchange:bool ->
+  unit ->
+  race list
+(** Portfolio replay of the Fig. 7 instances: for each (size, seed)
+    workload, race the default member list (MXR/MX/SFX/MR/LNS) in
+    parallel against its own sequential replay. Defaults: 2 seeds per
+    size, sizes 20 and 40, deterministic mode. *)
+
+val fig8_portfolio :
+  ?jobs:int ->
+  ?seeds_per_point:int ->
+  ?sizes:int list ->
+  ?tabu:Ftes_optim.Tabu.options ->
+  ?deadline_s:float ->
+  ?exchange:bool ->
+  unit ->
+  race list
+(** As {!fig7_portfolio} with the checkpointing member (MC-global) in
+    the race — the Fig. 8 flavor. *)
+
+val pp_race : Format.formatter -> race -> unit
+
 val transparency_tradeoff :
   ?jobs:int ->
   ?seeds:int ->

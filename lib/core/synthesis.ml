@@ -24,6 +24,7 @@ type options = {
   sched_jobs : int;
   compute_fto : bool;
   checkpointing : bool;
+  portfolio : Ftes_optim.Portfolio.options option;
 }
 
 let default_options =
@@ -35,6 +36,7 @@ let default_options =
     sched_jobs = 1;
     compute_fto = false;
     checkpointing = false;
+    portfolio = None;
   }
 
 let try_tables ~conditional ~max_vertices ~jobs problem =
@@ -71,19 +73,41 @@ let synthesize ?(options = default_options) ~app ~arch ~wcet ~k () =
   Telemetry.with_span ~cat:"core" ~args "synthesize" @@ fun () ->
   Events.with_phase "synthesize" @@ fun () ->
   let inputs = { Strategy.app; arch; wcet; k } in
-  let nft =
-    if options.compute_fto then
-      Some (Strategy.nft_length ~opts:options.tabu inputs)
-    else None
+  let optimized, nft =
+    match options.portfolio with
+    | Some popts ->
+        (* The portfolio races its member configurations (including the
+           checkpointing ones when requested) and computes the
+           fault-free baseline once for all of them. *)
+        let popts =
+          { popts with Ftes_optim.Portfolio.tabu = options.tabu }
+        in
+        let members =
+          Ftes_optim.Portfolio.default_members ~seed:options.tabu.Tabu.seed
+            ~sample:options.tabu.Tabu.sample
+            ~checkpointing:options.checkpointing ()
+        in
+        let r = Ftes_optim.Portfolio.run ~opts:popts ~members inputs in
+        ( r.Ftes_optim.Portfolio.winner.Ftes_optim.Portfolio.problem,
+          Some r.Ftes_optim.Portfolio.nft )
+    | None ->
+        let nft =
+          if options.compute_fto then
+            Some (Strategy.nft_length ~opts:options.tabu inputs)
+          else None
+        in
+        let outcome =
+          Strategy.run ~opts:options.tabu ?nft inputs options.strategy
+        in
+        (outcome.Strategy.problem, nft)
   in
-  let outcome = Strategy.run ~opts:options.tabu ?nft inputs options.strategy in
   let problem =
-    if options.checkpointing then
+    if options.checkpointing && options.portfolio = None then
       Telemetry.with_span ~cat:"core" "synthesize.checkpointing" (fun () ->
           Events.with_phase "synthesize.checkpointing" (fun () ->
               Ftes_optim.Checkpoint.global_optimize
-                ?cache:options.tabu.Tabu.cache outcome.Strategy.problem))
-    else outcome.Strategy.problem
+                ?cache:options.tabu.Tabu.cache optimized))
+    else optimized
   in
   let estimate =
     Telemetry.with_span ~cat:"core" "synthesize.estimate" (fun () ->

@@ -50,6 +50,15 @@ type options = {
   checkpointing : bool;  (** Additionally optimize checkpoint counts
                              (global optimization) on the final
                              configuration (default false). *)
+  portfolio : Ftes_optim.Portfolio.options option;
+      (** When set, optimize with the parallel strategy portfolio
+          instead of the single [strategy]: the default member race
+          (which includes the MC-global flavor when [checkpointing] is
+          on) runs under these options with [tabu] as the base search
+          configuration, and the winner's design flows into the
+          estimate and schedule tables. The FTO is always reported —
+          the portfolio computes the fault-free baseline once for the
+          whole race (default [None]). *)
 }
 
 val default_options : options

@@ -13,6 +13,7 @@ type check =
   | Symbolic
   | Estimate
   | Soft of { soft_prob : float }
+  | Portfolio of { iterations : int }
 
 type source = Example of string | Generated of Ftes_workload.Gen.spec
 
@@ -53,6 +54,7 @@ let check_kind = function
   | Symbolic -> "table-symbolic"
   | Estimate -> "estimate"
   | Soft _ -> "soft"
+  | Portfolio _ -> "portfolio-quality"
 
 let axis t name = List.assoc_opt name t.axes
 

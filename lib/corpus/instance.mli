@@ -38,6 +38,13 @@ type check =
       (** Mixed soft/hard scheduling: a deterministic soft/hard split
           (probability [soft_prob], seeded by the generator seed) and a
           digest of the rendered placements and utilities. *)
+  | Portfolio of { iterations : int }
+      (** Deterministic strategy-portfolio race ([iterations] per
+          member, no wall deadline, no incumbent exchange, [jobs = 1]):
+          the digest pins the winner and every member's final length,
+          and the run asserts the portfolio invariants — the winner
+          matches the best single member (match-or-beat) and the
+          incumbent curve is monotone. *)
 
 type source =
   | Example of string
@@ -66,7 +73,8 @@ val tier_to_string : tier -> string
 val tier_of_string : string -> tier option
 val check_kind : check -> string
 (** ["table-exhaustive"] | ["table-sampled"] | ["table-symbolic"] |
-    ["estimate"] | ["soft"] — the manifest's [kind] field. *)
+    ["estimate"] | ["soft"] | ["portfolio-quality"] — the manifest's
+    [kind] field. *)
 
 val axis : t -> string -> string option
 (** Value of one axis tag. *)

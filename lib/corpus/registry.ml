@@ -261,6 +261,51 @@ let symbolic_block () =
         ])
     buses
 
+(* Block F: portfolio-quality instances — the deterministic strategy
+   race (jobs = 1, fixed member iteration budget) on mid-size workloads
+   over both buses. The digest pins the winner and every member's final
+   length, so any engine's quality drift regresses the manifest; the
+   Smoke ones feed the per-commit trajectory trend gate. *)
+let portfolio_block () =
+  let idx = ref 0 in
+  List.map
+    (fun (procs, nodes, k, bus, iterations, tier) ->
+      let i = !idx in
+      incr idx;
+      let spec =
+        {
+          Gen.default with
+          processes = procs;
+          nodes;
+          seed = 7000 + (41 * i);
+          bus;
+        }
+      in
+      let check = I.Portfolio { iterations } in
+      {
+        I.id =
+          gen_id ~prefix:"pf" ~shape:I.Uniform ~spec ~k ~profile:Wuniform
+            ~extra:(Printf.sprintf "-i%d" iterations);
+        source = I.Generated spec;
+        k;
+        check;
+        tier;
+        axes =
+          gen_axes ~shape:I.Uniform ~spec ~k ~profile:Wuniform ~check
+            ~class_:"hard";
+      })
+    [
+      (12, 2, 2, Gen.Tdma, 20, I.Smoke);
+      (12, 3, 2, Gen.Single, 20, I.Smoke);
+      (* Standard, not Smoke: a full 5-member race on 16 processes runs
+         seconds of wall clock — too close to the smoke ceiling once
+         the parallel runner oversubscribes a small box. *)
+      (16, 3, 3, Gen.Tdma, 25, I.Standard);
+      (20, 3, 3, Gen.Single, 30, I.Standard);
+      (24, 4, 4, Gen.Tdma, 30, I.Standard);
+      (30, 4, 4, Gen.Single, 30, I.Standard);
+    ]
+
 (* Block D: the paper's own examples, at several fault hypotheses. *)
 let example_block () =
   let ex ~name ~k ~check ~tier =
@@ -296,7 +341,7 @@ let example_block () =
 
 let all () =
   example_block () @ table_block () @ symbolic_block () @ soft_block ()
-  @ estimate_block ()
+  @ portfolio_block () @ estimate_block ()
 
 let find id = List.find_opt (fun i -> i.I.id = id) (all ())
 

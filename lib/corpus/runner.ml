@@ -158,6 +158,75 @@ let evaluate_exn inst =
         "soft",
         if invariants_hold then None
         else Some (Invariant_broken "soft utility invariants violated") )
+  | I.Portfolio { iterations } ->
+      let module Portfolio = Ftes_optim.Portfolio in
+      let module Strategy = Ftes_optim.Strategy in
+      let module Tabu = Ftes_optim.Tabu in
+      (* Deterministic mode (jobs = 1, no deadline, no exchange): the
+         member outcomes are a pure function of the instance, so the
+         digest pins the whole race — winner and per-member lengths —
+         and any quality drift in any engine shows up as a digest
+         regression. Wall clocks are deliberately left out. *)
+      let tabu =
+        {
+          Tabu.default_options with
+          Tabu.iterations;
+          jobs = 1;
+          seed = I.stable_seed inst.I.id;
+        }
+      in
+      let r =
+        Portfolio.run
+          ~opts:
+            {
+              Portfolio.jobs = 1;
+              deadline_s = None;
+              exchange = false;
+              cache = None;
+              tabu;
+            }
+          {
+            Strategy.app = p.Problem.app;
+            arch = p.Problem.arch;
+            wcet = p.Problem.wcet;
+            k = p.Problem.k;
+          }
+      in
+      let digest =
+        digest_of_string
+          (String.concat ";"
+             (Printf.sprintf "winner=%s"
+                r.Portfolio.winner.Portfolio.member.Portfolio.label
+             :: List.map
+                  (fun (o : Portfolio.member_outcome) ->
+                    Printf.sprintf "%s=%.6f" o.Portfolio.member.Portfolio.label
+                      o.Portfolio.length)
+                  r.Portfolio.members))
+      in
+      let best_single =
+        List.fold_left
+          (fun acc (o : Portfolio.member_outcome) ->
+            Float.min acc o.Portfolio.length)
+          infinity r.Portfolio.members
+      in
+      let rec monotone = function
+        | (a : Ftes_optim.Incumbent.entry) :: (b :: _ as rest) ->
+            b.Ftes_optim.Incumbent.cost < a.Ftes_optim.Incumbent.cost -. 1e-9
+            && monotone rest
+        | [ _ ] | [] -> true
+      in
+      let error =
+        if r.Portfolio.winner.Portfolio.length > best_single +. 1e-6 then
+          Some
+            (Invariant_broken
+               (Printf.sprintf
+                  "portfolio winner %.6f worse than best single member %.6f"
+                  r.Portfolio.winner.Portfolio.length best_single))
+        else if not (monotone r.Portfolio.curve) then
+          Some (Invariant_broken "incumbent curve is not strictly decreasing")
+        else None
+      in
+      (r.Portfolio.winner.Portfolio.length, digest, "portfolio-quality", error)
 
 let evaluate inst =
   let t0 = Unix.gettimeofday () in

@@ -34,6 +34,9 @@ type options = {
   ft_objective : bool;
   jobs : int;
   cache : Evalcache.t option;
+  stop : (unit -> bool) option;
+  shared : Incumbent.handle option;
+  exchange : bool;
 }
 
 let default_options =
@@ -49,6 +52,9 @@ let default_options =
     ft_objective = true;
     jobs = Ftes_util.Par.default_jobs ();
     cache = None;
+    stop = None;
+    shared = None;
+    exchange = false;
   }
 
 let kind_of_policy p =
@@ -189,6 +195,24 @@ let optimize_body opts problem =
   let tabu = Tenure.create () in
   let best = ref problem in
   let best_len = ref (objective problem) in
+  (* The shared incumbent is read only when exchange is on: a
+     publish-only cell keeps the trajectory identical to a solo run
+     (the deterministic portfolio mode relies on this). The cell's
+     costs are fault-tolerant schedule lengths, so the fault-free
+     phases (SFX's mapping phase, the nft baseline) neither publish
+     into it nor aspire against it. *)
+  let shared = if opts.ft_objective then opts.shared else None in
+  let aspire_floor () =
+    match shared with
+    | Some h when opts.exchange -> Float.min !best_len (Incumbent.handle_best h)
+    | Some _ | None -> !best_len
+  in
+  let publish len =
+    match shared with
+    | Some h -> ignore (Incumbent.publish_handle h len)
+    | None -> ()
+  in
+  publish !best_len;
   let current = ref problem in
   let stall = ref 0 in
   let ev_on = Events.enabled () in
@@ -233,10 +257,13 @@ let optimize_body opts problem =
         | Some (mv, cand, len) ->
             (* Aspiration compares against the global best: a tabu
                move is admissible only when it beats the best length
-               seen so far (not merely the current schedule). *)
+               seen so far (not merely the current schedule). With
+               incumbent exchange on, "global" means across the whole
+               portfolio — the shared cell can only tighten the
+               threshold, never loosen it. *)
             let admissible =
               (not (Tenure.active tabu ~iter mv))
-              || len < !best_len -. 1e-9
+              || len < aspire_floor () -. 1e-9
             in
             if admissible then
               let better =
@@ -259,6 +286,7 @@ let optimize_body opts problem =
           best := cand;
           best_len := len;
           stall := 0;
+          publish len;
           Telemetry.incr c_improved;
           Telemetry.set_gauge "tabu.best_len" len;
           if ev_on then
@@ -275,9 +303,11 @@ let optimize_body opts problem =
         Telemetry.set_gauge "tabu.tenure_entries"
           (float_of_int (Hashtbl.length tabu))
   in
+  let stopped () = match opts.stop with Some f -> f () | None -> false in
   (try
      for iter = 1 to opts.iterations do
        if !stall > opts.stall_limit then raise Exit;
+       if stopped () then raise Exit;
        (if Telemetry.enabled () then
           Telemetry.with_span ~cat:"optim"
             ~args:[ ("iter", Telemetry.Int iter) ]

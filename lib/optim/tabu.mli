@@ -41,6 +41,21 @@ type options = {
           directly). The cache is a pure performance layer: the search
           trajectory and the final configuration are identical with the
           cache on or off, for every [jobs] value. *)
+  stop : (unit -> bool) option;
+      (** Polled once per iteration; the search returns its best-so-far
+          as soon as it answers [true]. The portfolio's wall-clock
+          deadline flows in here (default [None] = run the full
+          budget). *)
+  shared : Incumbent.handle option;
+      (** Portfolio incumbent cell: every local-best improvement (and
+          the initial objective) is published through the handle.
+          Publishing is write-only and never alters the trajectory. *)
+  exchange : bool;
+      (** When [shared] is set, also {e read} the cell: the aspiration
+          threshold becomes the minimum of the local and the portfolio
+          best, so a tabu move must beat the whole race to aspire.
+          Reading makes the trajectory depend on worker timing — leave
+          it off (the default) for deterministic runs. *)
 }
 
 val default_options : options

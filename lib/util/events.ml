@@ -19,6 +19,8 @@ type payload =
       heap_mb : float;
       major_collections : int;
     }
+  | Worker_start of { member : string }
+  | Worker_finish of { member : string; cost : float; wall_s : float }
 
 type event = { seq : int; t : float; dom : int; payload : payload }
 
@@ -270,6 +272,14 @@ let to_json ev =
          %s, \"major_words\": %s, \"heap_mb\": %s, \"major_collections\": %d}"
         common (json_escape phase) (jnum minor_words) (jnum major_words)
         (jnum heap_mb) major_collections
+  | Worker_start { member } ->
+      Printf.sprintf "{%s, \"type\": \"worker-start\", \"member\": \"%s\"}"
+        common (json_escape member)
+  | Worker_finish { member; cost; wall_s } ->
+      Printf.sprintf
+        "{%s, \"type\": \"worker-finish\", \"member\": \"%s\", \"cost\": %s, \
+         \"wall_s\": %s}"
+        common (json_escape member) (jnum cost) (jnum wall_s)
 
 let ndjson_sink oc ev =
   output_string oc (to_json ev);
@@ -299,5 +309,10 @@ let progress_sink oc ev =
         verdict wall_ms
   | Gc_sample { phase; heap_mb; major_collections; _ } ->
       Printf.fprintf oc "[%7.2fs]    gc %s: heap %.1f MB, %d major\n" ev.t
-        phase heap_mb major_collections);
+        phase heap_mb major_collections
+  | Worker_start { member } ->
+      Printf.fprintf oc "[%7.2fs] |> %s\n" ev.t member
+  | Worker_finish { member; cost; wall_s } ->
+      Printf.fprintf oc "[%7.2fs] <| %s final %g (%.2f s)\n" ev.t member cost
+        wall_s);
   flush oc

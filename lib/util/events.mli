@@ -78,6 +78,14 @@ type payload =
       major_collections : int;
     }  (** [Gc.quick_stat] deltas are not taken — these are the
            process-lifetime values at the end of [phase]. *)
+  | Worker_start of { member : string }
+      (** A portfolio member began running (label is the member's
+          configuration name, e.g. ["MXR#0"] or ["LNS#4"]). *)
+  | Worker_finish of { member : string; cost : float; wall_s : float }
+      (** A portfolio member finished with its final objective and its
+          own wall clock. Together with the ["portfolio:*"]-sourced
+          {!Incumbent} events these let [--progress] show the race
+          live. *)
 
 type event = {
   seq : int;  (** Global emission order (atomic ticket). *)
@@ -148,7 +156,8 @@ val to_json : event -> string
 (** One JSON object (single line, no trailing newline): always [seq],
     [t], [dom] and a [type] tag (["phase-start"], ["phase-finish"],
     ["incumbent"], ["validation-progress"], ["corpus-outcome"],
-    ["gc-sample"]), plus the payload's fields. *)
+    ["gc-sample"], ["worker-start"], ["worker-finish"]), plus the
+    payload's fields. *)
 
 val ndjson_sink : out_channel -> event -> unit
 (** A sink writing {!to_json} plus a newline per event, flushed per

@@ -226,6 +226,98 @@ let map_array ?jobs f input =
     Array.map (function Some y -> y | None -> assert false) results
   end
 
+(* Like [run_pool_impl], but the calling domain never pulls tasks: it
+   runs [poll] in the completion-wait loop instead, so a caller can
+   deliver live progress (e.g. [Events.drain]) while [jobs] pool
+   workers race through the batch. If the pool is unavailable (mid
+   shutdown) or drains to zero workers while we wait, the caller takes
+   over the remaining tasks inline — the batch always completes. *)
+let run_pool_live ~jobs ~n ~(task : int -> unit) ~poll =
+  let error : exn option Atomic.t = Atomic.make None in
+  let task i =
+    if Atomic.get error = None then
+      try task i
+      with e -> ignore (Atomic.compare_and_set error None (Some e))
+  in
+  let j =
+    {
+      n;
+      task;
+      next = Atomic.make 0;
+      completed = Atomic.make 0;
+      max_workers = jobs;
+      participants = Atomic.make 0;
+      published =
+        (if Telemetry.enabled () then Unix.gettimeofday () else Float.nan);
+    }
+  in
+  Telemetry.observe h_fanout (float_of_int n);
+  Mutex.lock pool.lock;
+  let parked = not pool.shutdown in
+  if parked then begin
+    ensure_workers jobs;
+    Telemetry.set_gauge "par.pool_size"
+      (float_of_int (List.length pool.workers));
+    pool.job <- Some j;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.wake
+  end;
+  Mutex.unlock pool.lock;
+  let run_inline () =
+    let saved = Domain.DLS.get worker_flag in
+    Domain.DLS.set worker_flag true;
+    let rec go () =
+      let i = Atomic.fetch_and_add j.next 1 in
+      if i < n then begin
+        j.task i;
+        Atomic.incr j.completed;
+        Domain.DLS.set worker_flag saved;
+        poll ();
+        Domain.DLS.set worker_flag true;
+        go ()
+      end
+    in
+    go ();
+    Domain.DLS.set worker_flag saved
+  in
+  if not parked then run_inline ();
+  while Atomic.get j.completed < n do
+    poll ();
+    if pool_size () = 0 then run_inline ()
+    else Unix.sleepf 0.002
+  done;
+  if parked then begin
+    Mutex.lock pool.lock;
+    (match pool.job with
+    | Some j' when j' == j -> pool.job <- None
+    | _ -> ());
+    Mutex.unlock pool.lock
+  end;
+  match Atomic.get error with Some e -> raise e | None -> ()
+
+let map_live ?jobs ~poll f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let jobs =
+    if in_worker () then 1
+    else max 1 (min (match jobs with Some j -> j | None -> default_jobs ()) n)
+  in
+  if jobs <= 1 || n = 0 then
+    List.map
+      (fun x ->
+        let y = f x in
+        poll ();
+        y)
+      xs
+  else begin
+    let results = Array.make n None in
+    run_pool_live ~jobs ~n
+      ~task:(fun i -> results.(i) <- Some (f input.(i)))
+      ~poll;
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) results)
+  end
+
 (* One list-to-array conversion up front; its length then serves the
    pool-size decision and the parallel path reuses the same array, so
    the input list is traversed exactly once on either path. *)

@@ -51,6 +51,21 @@ val init : ?jobs:int -> int -> (int -> 'a) -> 'a list
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map}. *)
 
+val map_live :
+  ?jobs:int -> poll:(unit -> unit) -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, but the calling domain never executes tasks: up to
+    [jobs] {e pool workers} (not [jobs - 1]) race through the batch
+    while the caller repeatedly runs [poll] in its completion-wait
+    loop. Built for live observability — pass [Ftes_util.Events.drain]
+    (or any sink pump) as [poll] and events emitted by the workers are
+    delivered while the fan-out is still in flight, instead of at the
+    next drain after it returns. [poll] runs only on the calling
+    domain, every few milliseconds; it must not dispatch another
+    parallel batch. With [jobs <= 1], from inside a worker, or when the
+    pool is unavailable, tasks run sequentially in the caller with
+    [poll] invoked between tasks. Result order and the
+    first-exception-wins error contract match {!map}. *)
+
 val map_ranges :
   ?jobs:int -> ?chunks_per_job:int -> int -> (int -> int -> 'a) -> 'a list
 (** [map_ranges ~jobs n f] splits the index space [0, n)] into coarse

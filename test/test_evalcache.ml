@@ -230,6 +230,81 @@ let test_foreign_universe_bypasses () =
   Alcotest.(check int) "re-pinned after clear" 0 s.Evalcache.bypasses;
   Alcotest.(check int) "cached this time" 1 s.Evalcache.entries
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent sharing: one cache hammered by several domains            *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_stress () =
+  let p =
+    Helpers.random_problem ~frozen:false ~mixed_policies:false ~processes:10
+      ~nodes:3 ~k:2 ~seed:11 ()
+  in
+  (* Distinct same-universe configurations (shared app/arch/wcet
+     pointers): copy 0 of every process moved to each of its allowed
+     nodes, deduplicated by signature. *)
+  let g = Problem.graph p in
+  let configs =
+    let seen = Hashtbl.create 64 in
+    List.concat_map
+      (fun pid ->
+        List.filter_map
+          (fun nid ->
+            let q =
+              Problem.with_policies p p.Problem.policies
+                (Mapping.remap p.Problem.mapping ~pid ~copy:0 ~nid)
+            in
+            let sig_ = Evalcache.signature q in
+            if Hashtbl.mem seen sig_ then None
+            else begin
+              Hashtbl.add seen sig_ ();
+              Some (q, (Slack.evaluate q).Slack.length)
+            end)
+          (Ftes_arch.Wcet.allowed_nodes p.Problem.wcet ~pid))
+      (List.init (Graph.process_count g) Fun.id)
+  in
+  let arr = Array.of_list configs in
+  let distinct = Array.length arr in
+  Alcotest.(check bool) "enough distinct configurations" true (distinct >= 8);
+  let cache = Evalcache.create () in
+  let domains = 4 and rounds = 40 in
+  let wrong = Atomic.make 0 in
+  let worker d () =
+    for r = 0 to rounds - 1 do
+      for i = 0 to distinct - 1 do
+        (* Each domain walks the pool in its own rotation, so misses,
+           hits and inserts genuinely interleave across shards. *)
+        let q, expected = arr.((i + (7 * d) + r) mod distinct) in
+        let len = (Evalcache.evaluate cache q).Slack.length in
+        if Float.abs (len -. expected) > 1e-9 then Atomic.incr wrong
+      done
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no torn or stale entry ever returned" 0
+    (Atomic.get wrong);
+  let s = Evalcache.stats cache in
+  (* The counters must sum exactly across domains: every evaluate call
+     is either a hit or a miss, nothing lost to races. *)
+  Alcotest.(check int) "lookups = every call from every domain"
+    (domains * rounds * distinct)
+    s.Evalcache.lookups;
+  Alcotest.(check int) "lookups = hits + misses" s.Evalcache.lookups
+    (s.Evalcache.hits + s.Evalcache.misses);
+  Alcotest.(check int) "entries = inserts - evictions" s.Evalcache.entries
+    (s.Evalcache.inserts - s.Evalcache.evictions);
+  Alcotest.(check int) "ample capacity: no evictions" 0 s.Evalcache.evictions;
+  (* Two domains can race the same fresh key and both miss (evaluation
+     happens outside the shard locks), but the insert is guarded, so
+     the table converges to exactly one entry per configuration. *)
+  Alcotest.(check int) "one insert per distinct configuration" distinct
+    s.Evalcache.inserts;
+  Alcotest.(check bool) "misses at least one per configuration" true
+    (s.Evalcache.misses >= distinct);
+  Alcotest.(check bool) "warm rounds hit" true
+    (s.Evalcache.hits > s.Evalcache.misses);
+  Alcotest.(check int) "no foreign traffic" 0 s.Evalcache.bypasses
+
 let test_stats_accounting () =
   let p = Helpers.fig5_problem () in
   let cache = Evalcache.create () in
@@ -274,6 +349,11 @@ let () =
           Alcotest.test_case "foreign universe bypasses" `Quick
             test_foreign_universe_bypasses;
           Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "4 domains x shared cache stress" `Slow
+            test_concurrent_stress;
         ] );
     ];
   Ftes_util.Par.shutdown ()
